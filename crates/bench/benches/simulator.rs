@@ -1,0 +1,101 @@
+//! Simulator throughput benchmarks: raw event-processing rate and
+//! end-to-end TCP transfer cost — the budget every experiment draws on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csig_netsim::{LinkConfig, SimDuration, Simulator, SinkAgent};
+use csig_tcp::{ClientBehavior, ServerSendPolicy, TcpClientAgent, TcpConfig, TcpServerAgent};
+use csig_testbed::{run_test, AccessParams, TestbedConfig};
+use std::hint::black_box;
+
+/// Events processed simulating a 1 MB transfer over a simple duplex.
+fn tcp_transfer(seed: u64) -> u64 {
+    let mut sim = Simulator::new(seed);
+    let server = sim.add_host(Box::new(TcpServerAgent::new(
+        TcpConfig {
+            record_samples: false,
+            ..TcpConfig::default()
+        },
+        ServerSendPolicy::Fixed(1_000_000),
+    )));
+    let client = sim.add_host(Box::new(TcpClientAgent::new(
+        server,
+        TcpConfig {
+            record_samples: false,
+            ..TcpConfig::default()
+        },
+        ClientBehavior::Once,
+        1,
+    )));
+    sim.add_duplex_link(
+        server,
+        client,
+        LinkConfig::new(50_000_000, SimDuration::from_millis(10)).buffer_ms(50),
+    );
+    sim.compute_routes();
+    sim.set_event_budget(50_000_000);
+    sim.run();
+    sim.events_processed()
+}
+
+/// Pure link/event machinery: a CBR-ish blast through a router.
+fn packet_blast(seed: u64) -> u64 {
+    use csig_testbed::CbrAgent;
+    let mut sim = Simulator::new(seed);
+    let sink = sim.add_host(Box::new(SinkAgent::default()));
+    let src = sim.add_host(Box::new(CbrAgent::new(
+        sink,
+        csig_netsim::FlowId(1),
+        100_000_000,
+        csig_netsim::SimTime::ZERO,
+        csig_netsim::SimTime::from_millis(500),
+    )));
+    let r = sim.add_router();
+    sim.add_duplex_link(src, r, LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)));
+    sim.add_duplex_link(r, sink, LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)));
+    sim.compute_routes();
+    sim.run();
+    sim.events_processed()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // Calibrate throughput units once.
+    let blast_events = packet_blast(1);
+    let transfer_events = tcp_transfer(1);
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(blast_events));
+    g.bench_function("packet_blast_events", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(packet_blast(seed))
+        })
+    });
+    g.throughput(Throughput::Elements(transfer_events));
+    g.bench_function("tcp_transfer_1mb", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(tcp_transfer(seed))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("testbed");
+    g.sample_size(10);
+    g.bench_function("scaled_self_induced_test", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_test(&TestbedConfig::scaled(AccessParams::figure1(), seed)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+}
+criterion_main!(benches);

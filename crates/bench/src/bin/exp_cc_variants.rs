@@ -1,0 +1,13 @@
+//! §6 robustness: congestion-control variants, RED, buffer depths.
+//!
+//! `cargo run --release -p csig-bench --bin exp_cc_variants [reps]`
+
+use csig_bench::{cc_variants, dispute};
+
+fn main() {
+    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(6);
+    eprintln!("cc_variants: training reference model…");
+    let clf = dispute::testbed_model(5, 0xCC01);
+    let rows = cc_variants::run(&clf, reps, 0xCC02);
+    cc_variants::print(&rows);
+}

@@ -1,0 +1,24 @@
+//! Ablations: feature subsets × tree depth (5-fold CV accuracy).
+//!
+//! `cargo run --release -p csig-bench --bin exp_feature_ablation [reps]`
+
+use csig_bench::ablation;
+use csig_testbed::{paper_grid, Profile, Sweep};
+
+fn main() {
+    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(3);
+    eprintln!("ablation: sweeping full grid reps={reps}…");
+    let results = Sweep {
+        grid: paper_grid(),
+        reps,
+        profile: Profile::Scaled,
+        seed: 0xAB1A,
+    }
+    .run(|done, total| {
+        if done % 24 == 0 {
+            eprintln!("  {done}/{total}");
+        }
+    });
+    let rows = ablation::feature_depth_ablation(&results, 0.7, 5);
+    ablation::print(&rows);
+}

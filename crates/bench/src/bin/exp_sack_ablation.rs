@@ -1,0 +1,67 @@
+//! SACK ablation: the paper's 2014-era stacks all negotiated SACK; this
+//! measures whether the signature technique depends on it. Runs the
+//! Figure-1 setting with SACK on and off, for both scenarios, and
+//! reports features + classification accuracy under a SACK-on model.
+//!
+//! `cargo run --release -p csig-bench --bin exp_sack_ablation [reps]`
+
+use csig_bench::dispute::testbed_model;
+use csig_netsim::rng::derive_seed;
+use csig_testbed::{run_test, AccessParams, TestbedConfig};
+
+
+fn main() {
+    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(8);
+    eprintln!("exp_sack_ablation: training reference model…");
+    let clf = testbed_model(5, 0x5AC0);
+
+    println!("SACK ablation — {reps} tests/cell at the Figure-1 setting");
+    println!(
+        "  {:>5} {:>9} {:>9} {:>9} {:>10} {:>5}",
+        "sack", "scenario", "NormDiff", "CoV", "accuracy", "n"
+    );
+    for sack in [true, false] {
+        for external in [false, true] {
+            let mut nds = Vec::new();
+            let mut covs = Vec::new();
+            let mut right = 0usize;
+            for rep in 0..reps {
+                let seed = derive_seed(0x5AC1, ((sack as u64) << 32) | ((external as u64) << 16) | rep as u64);
+                let mut cfg = TestbedConfig::scaled(AccessParams::figure1(), seed);
+                cfg.tcp.sack = sack;
+                // Vary only the measured flow's stack.
+                cfg.cross_tcp = Some(csig_tcp::TcpConfig {
+                    record_samples: false,
+                    ..csig_tcp::TcpConfig::default()
+                });
+                if external {
+                    cfg = cfg.externally_congested();
+                }
+                let expect = cfg.intended_class();
+                let r = run_test(&cfg);
+                if let Ok(f) = &r.features {
+                    nds.push(f.norm_diff);
+                    covs.push(f.cov);
+                    if clf.classify(f) == expect {
+                        right += 1;
+                    }
+                }
+            }
+            let med = |v: &[f64]| csig_features::median(v).unwrap_or(f64::NAN);
+            println!(
+                "  {:>5} {:>9} {:>9.3} {:>9.3} {:>9.0}% {:>5}",
+                sack,
+                if external { "external" } else { "self" },
+                med(&nds),
+                med(&covs),
+                100.0 * right as f64 / nds.len().max(1) as f64,
+                nds.len(),
+            );
+        }
+    }
+    println!(
+        "\nexpected: the signature is a property of the buffer, not of the\n\
+         recovery mechanism — NewReno-without-SACK flows carry the same\n\
+         slow-start features (SACK only changes post-loss behavior)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerate the §5.4 result: classifier accuracy on the TSLP2017
+//! campaign, with both a testbed-trained and a Dispute2014-trained
+//! model.
+//!
+//! `cargo run --release -p csig-bench --bin exp_tslp2017 [days]`
+
+use csig_bench::{dispute, tslp_exp};
+use csig_core::{ModelMeta, SignatureClassifier};
+use csig_dtree::{Dataset, TreeParams};
+use csig_mlab::{
+    generate_with_progress, label_dispute2014, run_campaign_with_progress, Dispute2014Config,
+    Tslp2017Config,
+};
+use csig_netsim::SimDuration;
+
+fn main() {
+    let days: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(14);
+    let cfg = Tslp2017Config {
+        days,
+        episode_days: (0..days).filter(|d| d % 3 == 2).collect(),
+        ..Tslp2017Config::default()
+    };
+    eprintln!("exp_tslp2017: running {days}-day campaign…");
+    let out = run_campaign_with_progress(&cfg, |done, total| {
+        if done % 100 == 0 {
+            eprintln!("  NDT {done}/{total}");
+        }
+    });
+
+    eprintln!("training testbed model…");
+    let testbed_clf = dispute::testbed_model(5, 0x7517);
+    tslp_exp::print_accuracy("testbed-trained model", &tslp_exp::evaluate(&testbed_clf, &out, 25));
+
+    eprintln!("training Dispute2014 model…");
+    let d2014 = generate_with_progress(
+        &Dispute2014Config {
+            tests_per_cell: 10,
+            test_duration: SimDuration::from_secs(4),
+            seed: 0x7518,
+        },
+        |_, _| {},
+    );
+    let mut data = Dataset::new();
+    for t in &d2014 {
+        if let (Some(label), Ok(f)) = (label_dispute2014(t), &t.measurement.features) {
+            data.push(f.as_vector().to_vec(), label.index());
+        }
+    }
+    if data.class_counts().iter().filter(|&&c| c > 0).count() == 2 {
+        let clf = SignatureClassifier::train(
+            &data,
+            TreeParams::default(),
+            ModelMeta {
+                congestion_threshold: f64::NAN,
+                trained_on: "Dispute2014 labels".into(),
+                n_train: data.len(),
+                n_filtered: 0,
+            },
+        );
+        tslp_exp::print_accuracy("Dispute2014-trained model", &tslp_exp::evaluate(&clf, &out, 25));
+    } else {
+        eprintln!("Dispute2014 labels produced a single class; skipping");
+    }
+}

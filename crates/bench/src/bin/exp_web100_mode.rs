@@ -1,0 +1,27 @@
+//! Compare Web100-mode (kernel-sample) classification against
+//! capture-mode over a testbed sweep, at several sampling strides.
+//!
+//! `cargo run --release -p csig-bench --bin exp_web100_mode [reps]`
+
+use csig_bench::{dispute, web100_exp};
+use csig_testbed::{paper_grid, Profile, Sweep};
+
+fn main() {
+    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(3);
+    eprintln!("exp_web100_mode: sweeping full grid reps={reps}…");
+    let results = Sweep {
+        grid: paper_grid(),
+        reps,
+        profile: Profile::Scaled,
+        seed: 0xEB10,
+    }
+    .run(|done, total| {
+        if done % 24 == 0 {
+            eprintln!("  {done}/{total}");
+        }
+    });
+    eprintln!("training model…");
+    let clf = dispute::testbed_model(5, 0xEB11);
+    let points = web100_exp::run(&clf, &results, &[1, 2, 4, 8, 16]);
+    web100_exp::print(&points);
+}

@@ -1,0 +1,23 @@
+//! Regenerate Figure 1: RTT signature CDFs for self-induced vs
+//! external congestion (20 Mbps access, 100 ms buffer, 20 ms latency).
+//!
+//! `cargo run --release -p csig-bench --bin fig1 [reps] [--paper]`
+
+use csig_bench::fig1;
+use csig_testbed::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: u32 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(25);
+    let profile = if args.iter().any(|a| a == "--paper") {
+        Profile::Paper
+    } else {
+        Profile::Scaled
+    };
+    eprintln!("fig1: {reps} tests/scenario, {profile:?} profile");
+    let data = fig1::run(reps, profile, 0xF161);
+    fig1::print(&data);
+}

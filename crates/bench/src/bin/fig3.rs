@@ -1,0 +1,23 @@
+//! Regenerate Figure 3 (precision/recall vs congestion threshold) and
+//! Figure 4 (NormDiff vs CoV scatter) over the §3.1 grid.
+//!
+//! `cargo run --release -p csig-bench --bin fig3 [reps] [--full-grid] [--raw]`
+
+use csig_bench::fig3;
+use csig_testbed::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(5);
+    let full = args.iter().any(|a| a == "--full-grid");
+    eprintln!(
+        "fig3/fig4: sweep reps={reps}, grid={}",
+        if full { "paper(36)" } else { "small(9)" }
+    );
+    let results = fig3::run_sweep(reps, full, Profile::Scaled, 0xF163);
+    let points = fig3::threshold_points(&results, 1);
+    fig3::print_fig3(&points);
+    println!();
+    let scatter = fig3::fig4_points(&results);
+    fig3::print_fig4(&scatter, args.iter().any(|a| a == "--raw"));
+}

@@ -1,0 +1,23 @@
+//! Regenerate Figure 6: TSLP latency and NDT throughput around a
+//! congestion episode of the TSLP2017 campaign.
+//!
+//! `cargo run --release -p csig-bench --bin fig6 [days]`
+
+use csig_bench::tslp_exp;
+use csig_mlab::{run_campaign_with_progress, Tslp2017Config};
+
+fn main() {
+    let days: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(7);
+    let cfg = Tslp2017Config {
+        days,
+        episode_days: (0..days).filter(|d| d % 3 == 2).collect(),
+        ..Tslp2017Config::default()
+    };
+    eprintln!("fig6: running {days}-day campaign…");
+    let out = run_campaign_with_progress(&cfg, |done, total| {
+        if done % 100 == 0 {
+            eprintln!("  NDT {done}/{total}");
+        }
+    });
+    tslp_exp::print_fig6(&out);
+}

@@ -1,0 +1,27 @@
+//! Spot-check that the full-fidelity paper profile runs: one
+//! self-induced and one external test at the paper's exact settings
+//! (950 Mbps interconnect, 100 TGcong flows, 10 s test, 2 s warm-up).
+//!
+//! `cargo run --release -p csig-bench --bin paper_profile_check`
+
+use csig_testbed::{run_test, AccessParams, TestbedConfig};
+use std::time::Instant;
+
+fn main() {
+    for external in [false, true] {
+        let mut cfg = TestbedConfig::paper(AccessParams::figure1(), 0xFACE + external as u64);
+        if external {
+            cfg = cfg.externally_congested();
+        }
+        let t0 = Instant::now();
+        let r = run_test(&cfg);
+        println!(
+            "paper profile, external={external}: {:.1} Mbps, features={:?}, \
+             {} events in {:.1}s wall",
+            r.throughput.mean_bps / 1e6,
+            r.features.as_ref().map(|f| (f.norm_diff, f.cov)),
+            r.events,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 1: CDFs of (max − min) slow-start RTT and slow-start RTT CoV
+//! for self-induced vs external congestion.
+//!
+//! Paper setting: a 20 Mbps emulated access link with a 100 ms buffer
+//! and 20 ms added latency (zero loss), served by the interconnect; 50
+//! tests per scenario. Self-induced flows should show a max−min close
+//! to the 100 ms buffer depth and clearly higher CoV.
+
+use csig_netsim::rng::derive_seed;
+use csig_testbed::{run_test, AccessParams, Profile, TestbedConfig};
+use serde::{Deserialize, Serialize};
+
+/// One flow's Figure-1 metrics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig1Point {
+    /// max − min slow-start RTT, ms.
+    pub max_minus_min_ms: f64,
+    /// Slow-start RTT coefficient of variation.
+    pub cov: f64,
+}
+
+/// Both scenarios' point clouds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fig1Data {
+    /// Self-induced-scenario flows.
+    pub self_induced: Vec<Fig1Point>,
+    /// External-scenario flows.
+    pub external: Vec<Fig1Point>,
+}
+
+/// Run the Figure-1 experiment with `reps` tests per scenario.
+pub fn run(reps: u32, profile: Profile, seed: u64) -> Fig1Data {
+    let mut data = Fig1Data::default();
+    for rep in 0..reps {
+        for external in [false, true] {
+            let s = derive_seed(seed, (rep as u64) << 1 | external as u64);
+            let mut cfg = match profile {
+                Profile::Paper => TestbedConfig::paper(AccessParams::figure1(), s),
+                Profile::Scaled => TestbedConfig::scaled(AccessParams::figure1(), s),
+            };
+            if external {
+                cfg = cfg.externally_congested();
+            }
+            let r = run_test(&cfg);
+            if let Ok(f) = r.features {
+                let point = Fig1Point {
+                    max_minus_min_ms: f.max_rtt_ms - f.min_rtt_ms,
+                    cov: f.cov,
+                };
+                if external {
+                    data.external.push(point);
+                } else {
+                    data.self_induced.push(point);
+                }
+            }
+        }
+    }
+    data
+}
+
+/// Print the two CDFs as aligned percentile tables.
+pub fn print(data: &Fig1Data) {
+    let pct = |v: &[f64], p: f64| csig_features::percentile(v, p).unwrap_or(f64::NAN);
+    let series = |pts: &[Fig1Point]| {
+        let mm: Vec<f64> = pts.iter().map(|p| p.max_minus_min_ms).collect();
+        let cov: Vec<f64> = pts.iter().map(|p| p.cov).collect();
+        (mm, cov)
+    };
+    let (smm, scov) = series(&data.self_induced);
+    let (emm, ecov) = series(&data.external);
+    println!("Figure 1a — max−min slow-start RTT (ms), CDF percentiles");
+    println!("  {:>6} {:>10} {:>10}", "pct", "self", "external");
+    for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
+        println!("  {:>5.0}% {:>10.1} {:>10.1}", p, pct(&smm, p), pct(&emm, p));
+    }
+    println!("Figure 1b — slow-start RTT CoV, CDF percentiles");
+    println!("  {:>6} {:>10} {:>10}", "pct", "self", "external");
+    for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
+        println!("  {:>5.0}% {:>10.3} {:>10.3}", p, pct(&scov, p), pct(&ecov, p));
+    }
+    println!(
+        "  n_self={} n_external={}",
+        data.self_induced.len(),
+        data.external.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape_holds() {
+        let data = run(3, Profile::Scaled, 11);
+        assert!(data.self_induced.len() >= 2);
+        assert!(data.external.len() >= 2);
+        let med = |v: Vec<f64>| csig_features::median(&v).unwrap();
+        let self_mm = med(data.self_induced.iter().map(|p| p.max_minus_min_ms).collect());
+        let ext_mm = med(data.external.iter().map(|p| p.max_minus_min_ms).collect());
+        // Self-induced flows fill the ~100 ms buffer; external flows
+        // see a much smaller swing.
+        assert!(self_mm > 80.0, "self max-min {self_mm}");
+        assert!(ext_mm < self_mm, "external {ext_mm} vs self {self_mm}");
+        let self_cov = med(data.self_induced.iter().map(|p| p.cov).collect());
+        let ext_cov = med(data.external.iter().map(|p| p.cov).collect());
+        assert!(self_cov > ext_cov);
+    }
+}

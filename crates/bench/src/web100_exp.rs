@@ -1,0 +1,116 @@
+//! Web100-mode vs capture-mode classification — quantifying the §6
+//! future-work extension implemented in `csig_core::web100_mode`.
+//!
+//! The paper notes packet captures are "storage and computationally
+//! expensive" and suggests sampling RTTs from Web100 instead. This
+//! experiment classifies every sweep flow twice — once from its trace
+//! features and once from the server's kernel RTT samples at several
+//! decimation strides — and reports agreement plus per-mode ground
+//! truth accuracy.
+
+use csig_core::{classify_conn_stats, SignatureClassifier};
+use csig_testbed::TestResult;
+use serde::{Deserialize, Serialize};
+
+/// Agreement/accuracy of one sampling stride.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Web100Point {
+    /// Keep every `stride`-th kernel RTT sample (1 = all, 8 ≈ 5 ms
+    /// polling at typical rates).
+    pub stride: usize,
+    /// Flows classifiable in both modes.
+    pub n: usize,
+    /// Fraction where both modes give the same verdict.
+    pub agreement: f64,
+    /// Ground-truth accuracy of capture-mode verdicts.
+    pub trace_accuracy: f64,
+    /// Ground-truth accuracy of Web100-mode verdicts.
+    pub web100_accuracy: f64,
+}
+
+/// Evaluate agreement at the given strides.
+pub fn run(clf: &SignatureClassifier, results: &[TestResult], strides: &[usize]) -> Vec<Web100Point> {
+    strides
+        .iter()
+        .map(|&stride| {
+            let mut n = 0usize;
+            let mut agree = 0usize;
+            let mut trace_right = 0usize;
+            let mut web_right = 0usize;
+            for r in results {
+                let (Ok(f), Some(stats)) = (&r.features, &r.conn_stats) else {
+                    continue;
+                };
+                let Ok((web_class, _)) = classify_conn_stats(clf, stats, stride) else {
+                    continue;
+                };
+                let trace_class = clf.classify(f);
+                n += 1;
+                agree += usize::from(trace_class == web_class);
+                trace_right += usize::from(trace_class == r.intended);
+                web_right += usize::from(web_class == r.intended);
+            }
+            Web100Point {
+                stride,
+                n,
+                agreement: agree as f64 / n.max(1) as f64,
+                trace_accuracy: trace_right as f64 / n.max(1) as f64,
+                web100_accuracy: web_right as f64 / n.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Print the comparison table.
+pub fn print(points: &[Web100Point]) {
+    println!("Web100-mode classification vs packet captures (§6 extension)");
+    println!(
+        "  {:>7} {:>5} {:>10} {:>12} {:>13}",
+        "stride", "n", "agreement", "trace acc.", "web100 acc."
+    );
+    for p in points {
+        println!(
+            "  {:>7} {:>5} {:>9.0}% {:>11.0}% {:>12.0}%",
+            p.stride,
+            p.n,
+            p.agreement * 100.0,
+            p.trace_accuracy * 100.0,
+            p.web100_accuracy * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispute::testbed_model;
+    use csig_testbed::{small_grid, Profile, Sweep};
+
+    #[test]
+    fn web100_mode_matches_trace_mode_on_the_sweep() {
+        let results = Sweep {
+            grid: small_grid(),
+            reps: 2,
+            profile: Profile::Scaled,
+            seed: 91,
+        }
+        .run(|_, _| {});
+        let clf = testbed_model(3, 92);
+        let points = run(&clf, &results, &[1, 4, 8]);
+        for p in &points {
+            assert!(p.n >= 20, "only {} comparable flows", p.n);
+            assert!(
+                p.agreement >= 0.9,
+                "stride {}: agreement {}",
+                p.stride,
+                p.agreement
+            );
+            // Web100 mode must not trail trace mode by more than a few
+            // points.
+            assert!(
+                p.web100_accuracy + 0.1 >= p.trace_accuracy,
+                "{p:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end capture analysis: classify every eligible flow a server
+//! saw.
+
+use crate::classifier::{SignatureClassifier, Verdict};
+use csig_features::FeatureError;
+use csig_netsim::{Capture, FlowId};
+use csig_trace::split_flows;
+
+/// Per-flow outcome of analyzing a capture.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The flow analyzed.
+    pub flow: FlowId,
+    /// The verdict, or why the flow was skipped.
+    pub verdict: Result<Verdict, FeatureError>,
+}
+
+/// Classify every TCP flow in a server-side capture.
+pub fn analyze_capture(clf: &SignatureClassifier, cap: &Capture) -> Vec<FlowReport> {
+    split_flows(cap)
+        .values()
+        .map(|trace| FlowReport {
+            flow: trace.flow,
+            verdict: clf.classify_trace(trace),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{ModelMeta, SignatureClassifier};
+    use csig_dtree::TreeParams;
+    use csig_features::CongestionClass;
+    use csig_netsim::{LinkConfig, SimDuration, Simulator};
+    use csig_tcp::{ClientBehavior, ServerSendPolicy, TcpClientAgent, TcpConfig, TcpServerAgent};
+
+    fn tiny_model() -> SignatureClassifier {
+        // Hand-built training set with the paper's geometry.
+        let mut d = csig_dtree::Dataset::new();
+        for i in 0..20 {
+            let x = i as f64 / 20.0;
+            d.push(vec![0.6 + 0.4 * x, 0.15 + 0.2 * x], 0);
+            d.push(vec![0.3 * x, 0.05 * x], 1);
+        }
+        SignatureClassifier::train(
+            &d,
+            TreeParams::default(),
+            ModelMeta {
+                congestion_threshold: 0.8,
+                trained_on: "unit".into(),
+                n_train: 40,
+                n_filtered: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn analyze_simulated_capture_end_to_end() {
+        // A download that fills an idle 100 ms buffer: the verdict must
+        // be self-induced.
+        let mut sim = Simulator::new(21);
+        let server = sim.add_host(Box::new(TcpServerAgent::new(
+            TcpConfig::default(),
+            ServerSendPolicy::Fixed(4_000_000),
+        )));
+        let client = sim.add_host(Box::new(TcpClientAgent::new(
+            server,
+            TcpConfig::default(),
+            ClientBehavior::Once,
+            77,
+        )));
+        sim.add_duplex_link(
+            server,
+            client,
+            LinkConfig::new(20_000_000, SimDuration::from_millis(20)).buffer_ms(100),
+        );
+        sim.compute_routes();
+        let cap = sim.attach_capture(server);
+        sim.set_event_budget(50_000_000);
+        sim.run();
+        let capture = sim.take_capture(cap);
+
+        let clf = tiny_model();
+        let reports = analyze_capture(&clf, &capture);
+        assert_eq!(reports.len(), 1);
+        let verdict = reports[0].verdict.as_ref().expect("classifiable");
+        assert_eq!(verdict.class, CongestionClass::SelfInduced);
+        assert!(verdict.features.norm_diff > 0.5);
+        assert!(verdict.confidence > 0.5);
+    }
+
+    #[test]
+    fn empty_capture_yields_no_reports() {
+        let clf = tiny_model();
+        let cap = Capture::new(csig_netsim::NodeId(0));
+        assert!(analyze_capture(&clf, &cap).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! # csig-core — TCP congestion signatures
+//!
+//! The primary contribution of *"TCP Congestion Signatures"* (IMC
+//! 2017): a server-side, per-flow classifier that distinguishes
+//! **self-induced** congestion (the flow filled an idle bottleneck —
+//! typically the subscriber's access link) from **external** congestion
+//! (the flow started behind an already congested link — typically an
+//! interconnect), using only two statistics of the flow's RTT during
+//! TCP slow start:
+//!
+//! * `NormDiff = (max RTT − min RTT) / max RTT`
+//! * `CoV = stddev(RTT) / mean(RTT)`
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! capture (csig-netsim) → RTT samples + slow-start window (csig-trace)
+//!   → NormDiff/CoV (csig-features) → decision tree (csig-dtree)
+//!   → CongestionClass
+//! ```
+//!
+//! [`SignatureClassifier`] wraps the whole pipeline; [`training`]
+//! builds models from testbed sweeps with the paper's
+//! congestion-threshold labeling; [`analysis`] applies a model to every
+//! flow of a capture.
+//!
+//! ## Example
+//!
+//! ```
+//! use csig_core::{SignatureClassifier, ModelMeta};
+//! use csig_dtree::{Dataset, TreeParams};
+//! use csig_features::CongestionClass;
+//!
+//! // Train on labeled [NormDiff, CoV] vectors…
+//! let mut data = Dataset::new();
+//! for i in 0..20 {
+//!     let x = i as f64 / 20.0;
+//!     data.push(vec![0.7 + 0.3 * x, 0.2 + 0.1 * x], CongestionClass::SelfInduced.index());
+//!     data.push(vec![0.2 * x, 0.05 * x], CongestionClass::External.index());
+//! }
+//! let meta = ModelMeta {
+//!     congestion_threshold: 0.8,
+//!     trained_on: "docs".into(),
+//!     n_train: data.len(),
+//!     n_filtered: 0,
+//! };
+//! let clf = SignatureClassifier::train(&data, TreeParams::default(), meta);
+//! // …then classify any flow's features.
+//! let features = csig_features::features_from_rtts_ms(
+//!     &[40.0, 48.0, 55.0, 64.0, 75.0, 88.0, 99.0, 112.0, 124.0, 135.0],
+//! ).unwrap();
+//! assert_eq!(clf.classify(&features), CongestionClass::SelfInduced);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod classifier;
+pub mod training;
+pub mod web100_mode;
+
+pub use analysis::{analyze_capture, FlowReport};
+pub use classifier::{ModelMeta, SignatureClassifier, Verdict};
+pub use training::{
+    dataset_at_threshold, ground_truth_accuracy, threshold_point, threshold_sweep,
+    train_from_results, GroundTruthAccuracy, ThresholdPoint,
+};
+pub use web100_mode::{classify_conn_stats, features_from_stats, slow_start_rtts_ms};
+
+#[cfg(test)]
+mod integration_tests {
+    //! The headline result, end to end: train on a small testbed sweep
+    //! and classify held-out testbed runs with high accuracy.
+
+    use super::*;
+    use csig_dtree::TreeParams;
+    use csig_testbed::{AccessParams, Profile, Sweep};
+
+    fn small_sweep(seed: u64, reps: u32) -> Vec<csig_testbed::TestResult> {
+        let grid = vec![
+            AccessParams { rate_mbps: 10, loss_pct: 0.02, latency_ms: 20, buffer_ms: 50 },
+            AccessParams { rate_mbps: 20, loss_pct: 0.0, latency_ms: 20, buffer_ms: 100 },
+            AccessParams { rate_mbps: 50, loss_pct: 0.02, latency_ms: 40, buffer_ms: 50 },
+        ];
+        Sweep {
+            grid,
+            reps,
+            profile: Profile::Scaled,
+            seed,
+        }
+        .run(|_, _| {})
+    }
+
+    #[test]
+    fn testbed_trained_model_classifies_heldout_runs() {
+        let train_results = small_sweep(1000, 5);
+        let clf = train_from_results(&train_results, 0.7, TreeParams::default())
+            .expect("trainable sweep");
+        // Fresh runs with different seeds.
+        let test_results = small_sweep(2000, 3);
+        let acc = ground_truth_accuracy(&clf, &test_results);
+        // Some external runs legitimately fail the 10-sample minimum
+        // (first window lost into a pegged buffer) — the paper filters
+        // those too — so require most, not all, to be classifiable.
+        assert!(acc.n_self >= 7, "n_self {}", acc.n_self);
+        assert!(acc.n_external >= 5, "n_external {}", acc.n_external);
+        // The paper's held-out accuracy band is ~90 % (testbed) and
+        // 75–85 % (external, real world); at unit-test sample sizes one
+        // borderline flow moves the rate by >10 points, so the bounds
+        // are set one miss looser.
+        assert!(
+            acc.self_accuracy >= 0.75,
+            "self accuracy {} (n={})",
+            acc.self_accuracy,
+            acc.n_self
+        );
+        assert!(
+            acc.external_accuracy >= 0.6,
+            "external accuracy {} (n={})",
+            acc.external_accuracy,
+            acc.n_external
+        );
+    }
+}

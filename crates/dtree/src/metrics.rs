@@ -1,0 +1,186 @@
+//! Classification metrics: confusion matrix, precision/recall/F1,
+//! accuracy, and cross-validation — the evaluation vocabulary of the
+//! paper's Figure 3.
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+use serde::{Deserialize, Serialize};
+
+/// Confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel actual/predicted label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn from_labels(actual: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "length mismatch");
+        assert!(!actual.is_empty(), "no samples");
+        let k = actual
+            .iter()
+            .chain(predicted)
+            .max()
+            .map_or(1, |&m| m + 1);
+        let mut counts = vec![vec![0usize; k]; k];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            counts[a][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `counts[actual][predicted]` (0 for classes never observed).
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts
+            .get(actual)
+            .and_then(|row| row.get(predicted))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of `class`: TP / (TP + FP). `None` when the class is
+    /// never predicted (including classes beyond the observed range).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let predicted: usize = (0..self.n_classes()).map(|a| self.count(a, class)).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of `class`: TP / (TP + FN). `None` when the class has no
+    /// actual samples (including classes beyond the observed range).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let actual: usize = self
+            .counts
+            .get(class)
+            .map(|row| row.iter().sum())
+            .unwrap_or(0);
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 score of `class` (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "actual \\ predicted")?;
+        for (a, row) in self.counts.iter().enumerate() {
+            write!(f, "  {a}:")?;
+            for c in row {
+                write!(f, " {c:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate a fitted tree on a test set.
+pub fn evaluate(tree: &DecisionTree, test: &Dataset) -> ConfusionMatrix {
+    let preds = tree.predict_all(test);
+    ConfusionMatrix::from_labels(&test.labels, &preds)
+}
+
+/// Mean k-fold cross-validated accuracy.
+pub fn cross_val_accuracy(data: &Dataset, params: TreeParams, k: usize, seed: u64) -> f64 {
+    let folds = data.k_folds(k, seed);
+    let mut acc = 0.0;
+    let n = folds.len() as f64;
+    for (train, val) in folds {
+        let tree = DecisionTree::fit(&train, params);
+        acc += evaluate(&tree, &val).accuracy();
+    }
+    acc / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let actual = vec![0, 1, 0, 1];
+        let cm = ConfusionMatrix::from_labels(&actual, &actual);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(0), Some(1.0));
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert_eq!(cm.f1(0), Some(1.0));
+    }
+
+    #[test]
+    fn known_confusion() {
+        // actual:    0 0 0 1 1
+        // predicted: 0 0 1 1 0
+        let cm = ConfusionMatrix::from_labels(&[0, 0, 0, 1, 1], &[0, 0, 1, 1, 0]);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        // precision(0) = 2/3, recall(0) = 2/3.
+        assert!((cm.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // precision(1) = 1/2, recall(1) = 1/2, f1 = 1/2.
+        assert!((cm.f1(1).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_predicted_class_has_no_precision() {
+        let cm = ConfusionMatrix::from_labels(&[0, 1], &[0, 0]);
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.recall(1), Some(0.0));
+    }
+
+    #[test]
+    fn out_of_range_class_is_not_a_panic() {
+        // A degenerate test split where only class 0 exists.
+        let cm = ConfusionMatrix::from_labels(&[0, 0], &[0, 0]);
+        assert_eq!(cm.n_classes(), 1);
+        assert_eq!(cm.count(1, 1), 0);
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.recall(1), None);
+        assert_eq!(cm.f1(1), None);
+    }
+
+    #[test]
+    fn display_renders() {
+        let cm = ConfusionMatrix::from_labels(&[0, 1], &[0, 1]);
+        let s = cm.to_string();
+        assert!(s.contains("actual"));
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_high() {
+        let mut d = Dataset::new();
+        for i in 0..200 {
+            let x = i as f64 / 200.0;
+            d.push(vec![x], usize::from(x > 0.5));
+        }
+        let acc = cross_val_accuracy(&d, TreeParams::default(), 5, 42);
+        assert!(acc > 0.95, "cv accuracy {acc}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # csig-features — flow feature extraction
+//!
+//! Computes the paper's two classifier inputs from slow-start RTT
+//! samples: **NormDiff** (`(max − min) / max`) and **CoV**
+//! (`stddev / mean`), plus the summary-statistics toolbox they are
+//! built on ([`stats`]).
+//!
+//! The end-to-end path is: `csig-trace` extracts RTT samples and the
+//! slow-start boundary from a server-side capture;
+//! [`features_from_samples`] windows the samples and reduces them to a
+//! [`FlowFeatures`] vector; `csig-dtree`/`csig-core` classify it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod stats;
+
+pub use features::{
+    features_from_rtts_ms, features_from_samples, CongestionClass, FeatureError, FlowFeatures,
+    MIN_SAMPLES,
+};
+pub use stats::{ecdf, median, percentile, Summary};

@@ -1,0 +1,140 @@
+//! The discrete-event core: a time-ordered queue of pending events.
+//!
+//! Ties are broken by insertion order (a monotonically increasing
+//! sequence number), which makes event processing fully deterministic.
+
+use crate::ids::{LinkId, NodeId};
+use crate::link::LinkConfig;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Opaque timer payload an agent chooses when arming a timer and gets
+/// back when it fires. Agents typically encode a generation counter so
+/// stale timers can be ignored (there is no cancellation).
+pub type TimerToken = u64;
+
+/// Something scheduled to happen.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A host agent's initial activation.
+    Start(NodeId),
+    /// A timer armed by the agent on `node` fires.
+    Timer(NodeId, TimerToken),
+    /// A packet arrives at `node` (off the wire).
+    Deliver(NodeId, Packet),
+    /// The link should attempt to transmit its head-of-line packet.
+    LinkService(LinkId),
+    /// Replace the link's parameters (time-varying path state).
+    LinkReconfig(LinkId, LinkConfig),
+}
+
+#[derive(Debug)]
+pub(crate) struct EventEntry {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Min-heap of pending events ordered by `(time, insertion order)`.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<EventEntry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(EventEntry { time, seq, kind }));
+    }
+
+    /// Earliest pending event time.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<EventEntry> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    #[allow(dead_code)] // used by tests; kept for API symmetry
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), EventKind::Start(NodeId(0)));
+        q.push(SimTime::from_millis(1), EventKind::Start(NodeId(1)));
+        q.push(SimTime::from_millis(3), EventKind::Start(NodeId(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.push(t, EventKind::Start(NodeId(10)));
+        q.push(t, EventKind::Start(NodeId(20)));
+        q.push(t, EventKind::Start(NodeId(30)));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start(n) => n.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn peek_time_reports_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(2), EventKind::Start(NodeId(0)));
+        q.push(SimTime::from_secs(1), EventKind::Start(NodeId(0)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,972 @@
+//! The simulator: topology construction, routing, and the event loop.
+//!
+//! # Model
+//!
+//! A topology is a set of **nodes** (hosts carrying an [`Agent`], or
+//! routers that only forward) connected by unidirectional **links**
+//! ([`Link`]). Routing is static: each node holds a `destination →
+//! outgoing link` table, either set explicitly or computed by
+//! [`Simulator::compute_routes`] (BFS, minimum hop count, deterministic
+//! tie-break by link id).
+//!
+//! # Determinism
+//!
+//! All state evolves through a single time-ordered event queue with
+//! FIFO tie-breaking, and all randomness derives from the master seed
+//! via per-component streams — running the same configuration twice
+//! produces identical captures.
+
+use crate::agent::{Agent, Command, Ctx};
+use crate::capture::{Capture, CaptureHandle, Direction};
+use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::ids::{LinkId, NodeId, PacketId};
+use crate::link::{EnqueueOutcome, Link, LinkConfig, ServiceOutcome};
+use crate::packet::{Packet, PacketSpec};
+use crate::rng::stream_rng;
+use crate::stats::LinkStats;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Node role.
+enum NodeSlot {
+    /// Forwards packets according to the routing table.
+    Router,
+    /// Runs an agent. The box is temporarily taken out while its
+    /// callback runs (to satisfy the borrow checker); `None` only
+    /// transiently.
+    Host {
+        agent: Option<Box<dyn Agent>>,
+        rng: StdRng,
+    },
+}
+
+/// Why [`Simulator::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    Drained,
+    /// The configured horizon was reached with events still pending.
+    Horizon,
+    /// The event budget was exhausted (runaway-protection).
+    EventBudget,
+}
+
+/// Discrete-event network simulator.
+pub struct Simulator {
+    now: SimTime,
+    events: EventQueue,
+    nodes: Vec<NodeSlot>,
+    links: Vec<Link>,
+    link_rngs: Vec<StdRng>,
+    /// `routes[node][dst] = link` (dense table; `None` = unreachable).
+    routes: Vec<Vec<Option<LinkId>>>,
+    captures: Vec<Capture>,
+    next_packet_id: u64,
+    seed: u64,
+    events_processed: u64,
+    /// Safety valve against runaway simulations (default: practically
+    /// unlimited).
+    event_budget: u64,
+    cmd_buf: Vec<Command>,
+}
+
+impl Simulator {
+    /// A fresh simulator; all randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            link_rngs: Vec::new(),
+            routes: Vec::new(),
+            captures: Vec::new(),
+            next_packet_id: 0,
+            seed,
+            events_processed: 0,
+            event_budget: u64::MAX,
+            cmd_buf: Vec::new(),
+        }
+    }
+
+    /// Cap the number of processed events (safety valve for tests).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Add a forwarding-only router node.
+    pub fn add_router(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot::Router);
+        id
+    }
+
+    /// Add a host running `agent`, activated at time zero.
+    pub fn add_host(&mut self, agent: Box<dyn Agent>) -> NodeId {
+        self.add_host_at(agent, SimTime::ZERO)
+    }
+
+    /// Add a host running `agent`, activated at `start`.
+    pub fn add_host_at(&mut self, agent: Box<dyn Agent>, start: SimTime) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let rng = stream_rng(self.seed, 0x1000_0000 + id.0 as u64);
+        self.nodes.push(NodeSlot::Host {
+            agent: Some(agent),
+            rng,
+        });
+        self.events.push(start, EventKind::Start(id));
+        id
+    }
+
+    /// Add a unidirectional link `from → to`.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(from.index() < self.nodes.len(), "unknown from node");
+        assert!(to.index() < self.nodes.len(), "unknown to node");
+        assert_ne!(from, to, "self-loop link");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, from, to, cfg));
+        self.link_rngs
+            .push(stream_rng(self.seed, 0x2000_0000 + id.0 as u64));
+        id
+    }
+
+    /// Add a pair of links `a → b` and `b → a` with the same config.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, cfg.clone());
+        let ba = self.add_link(b, a, cfg);
+        (ab, ba)
+    }
+
+    /// Add an asymmetric duplex: `cfg` for `a → b`, `rev` for `b → a`.
+    pub fn add_duplex_link_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cfg: LinkConfig,
+        rev: LinkConfig,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, cfg);
+        let ba = self.add_link(b, a, rev);
+        (ab, ba)
+    }
+
+    /// Explicitly route traffic for `dst` leaving `node` over `link`.
+    pub fn set_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        self.ensure_route_table();
+        assert_eq!(self.links[link.index()].from, node, "link does not leave node");
+        self.routes[node.index()][dst.index()] = Some(link);
+    }
+
+    fn ensure_route_table(&mut self) {
+        let n = self.nodes.len();
+        if self.routes.len() != n || self.routes.first().map(|r| r.len()) != Some(n) {
+            self.routes = vec![vec![None; n]; n];
+        }
+    }
+
+    /// Compute shortest-path (hop count) routes for every node pair.
+    /// Deterministic: among equal-length paths the smallest link id wins.
+    /// Call after the topology is complete; explicit `set_route` entries
+    /// made *after* this call override it.
+    pub fn compute_routes(&mut self) {
+        let n = self.nodes.len();
+        self.routes = vec![vec![None; n]; n];
+        // Outgoing adjacency, sorted by link id for determinism.
+        let mut out: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            out[l.from.index()].push(l.id);
+        }
+        // BFS from every destination over *reversed* links: we want, for
+        // each node, the first hop towards dst.
+        let mut rin: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            rin[l.to.index()].push(l.id);
+        }
+        for dst in 0..n {
+            let mut dist = vec![u32::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(v) = q.pop_front() {
+                // Links arriving at v originate at candidate predecessors.
+                for &lid in &rin[v] {
+                    let u = self.links[lid.index()].from.index();
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[v] + 1;
+                        self.routes[u][dst] = Some(lid);
+                        q.push_back(u);
+                    } else if dist[u] == dist[v] + 1 {
+                        // Equal-length alternative: keep the smaller link id.
+                        if let Some(cur) = self.routes[u][dst] {
+                            if lid < cur {
+                                self.routes[u][dst] = Some(lid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The route (outgoing link) from `node` towards `dst`, if any.
+    pub fn route(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.routes
+            .get(node.index())
+            .and_then(|r| r.get(dst.index()))
+            .copied()
+            .flatten()
+    }
+
+    /// Attach a capture tap to `node`.
+    pub fn attach_capture(&mut self, node: NodeId) -> CaptureHandle {
+        assert!(node.index() < self.nodes.len(), "unknown node");
+        self.captures.push(Capture::new(node));
+        CaptureHandle(self.captures.len() - 1)
+    }
+
+    /// Read a capture.
+    pub fn capture(&self, h: CaptureHandle) -> &Capture {
+        &self.captures[h.0]
+    }
+
+    /// Remove and return a capture (e.g. to hand to trace analysis).
+    pub fn take_capture(&mut self, h: CaptureHandle) -> Capture {
+        std::mem::replace(&mut self.captures[h.0], Capture::new(NodeId(u32::MAX)))
+    }
+
+    /// Link statistics.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.links[link.index()].stats
+    }
+
+    /// The link object (read-only).
+    pub fn link(&self, link: LinkId) -> &Link {
+        &self.links[link.index()]
+    }
+
+    /// Downcast a host's agent to its concrete type.
+    pub fn agent<T: Agent>(&self, node: NodeId) -> Option<&T> {
+        match &self.nodes[node.index()] {
+            NodeSlot::Host {
+                agent: Some(agent), ..
+            } => (agent.as_ref() as &dyn Any).downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Downcast a host's agent to its concrete type, mutably.
+    pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Option<&mut T> {
+        match &mut self.nodes[node.index()] {
+            NodeSlot::Host {
+                agent: Some(agent), ..
+            } => (agent.as_mut() as &mut dyn Any).downcast_mut::<T>(),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Run until the queue drains or `horizon` is reached.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        self.ensure_route_table();
+        loop {
+            if self.events_processed >= self.event_budget {
+                return StopReason::EventBudget;
+            }
+            match self.events.peek_time() {
+                None => return StopReason::Drained,
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return StopReason::Horizon;
+                }
+                Some(_) => {}
+            }
+            let ev = self.events.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run to `horizon`, invoking `observe` every `interval` of
+    /// simulated time (first at the current time). Lets harnesses
+    /// sample link/queue state as the simulation progresses — e.g.
+    /// recording buffer occupancy while a flow's slow start fills it.
+    pub fn run_sampled<F: FnMut(&Simulator)>(
+        &mut self,
+        horizon: SimTime,
+        interval: SimDuration,
+        mut observe: F,
+    ) -> StopReason {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let mut next = self.now;
+        loop {
+            observe(self);
+            next = next + interval;
+            if next >= horizon {
+                return self.run_until(horizon);
+            }
+            match self.run_until(next) {
+                StopReason::Horizon => {}
+                other => return other,
+            }
+        }
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start(node) => self.agent_callback(node, AgentCall::Start),
+            EventKind::Timer(node, token) => self.agent_callback(node, AgentCall::Timer(token)),
+            EventKind::Deliver(node, pkt) => self.deliver(node, pkt),
+            EventKind::LinkService(link) => self.link_service(link),
+            EventKind::LinkReconfig(link, cfg) => {
+                let now = self.now;
+                self.links[link.index()].reconfigure(now, cfg);
+                // Wake the link in case the new rate can serve the
+                // backlog sooner (or at all).
+                if !self.links[link.index()].service_pending()
+                    && self.links[link.index()].queued_bytes() > 0
+                {
+                    self.links[link.index()].force_service_pending();
+                    self.events.push(now, EventKind::LinkService(link));
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+        self.record_capture(node, Direction::In, &pkt);
+        if pkt.dst == node {
+            match &self.nodes[node.index()] {
+                NodeSlot::Host { .. } => self.agent_callback(node, AgentCall::Packet(pkt)),
+                NodeSlot::Router => {
+                    // Routers answer latency probes like real routers
+                    // answer ICMP echo; all other packets addressed to a
+                    // router are absorbed.
+                    if let crate::packet::PacketKind::Probe {
+                        kind: crate::packet::ProbeKind::Request,
+                        ident,
+                    } = pkt.kind
+                    {
+                        let reply = Packet {
+                            id: PacketId(self.next_packet_id),
+                            flow: pkt.flow,
+                            src: node,
+                            dst: pkt.src,
+                            size: pkt.size,
+                            sent_at: self.now,
+                            kind: crate::packet::PacketKind::Probe {
+                                kind: crate::packet::ProbeKind::Reply {
+                                    sent_at: pkt.sent_at,
+                                },
+                                ident,
+                            },
+                        };
+                        self.next_packet_id += 1;
+                        if let Some(link) = self.route(node, reply.dst) {
+                            self.enqueue_on_link(link, reply);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Forward.
+            match self.route(node, pkt.dst) {
+                Some(link) => self.enqueue_on_link(link, pkt),
+                None => {
+                    // No route: packet silently dropped (counts nowhere —
+                    // misconfiguration is surfaced by tests/assertions in
+                    // experiment code).
+                    debug_assert!(false, "no route from {node} to {}", pkt.dst);
+                }
+            }
+        }
+    }
+
+    fn link_service(&mut self, link: LinkId) {
+        let l = &mut self.links[link.index()];
+        l.clear_service_pending();
+        let rng = &mut self.link_rngs[link.index()];
+        match l.service(self.now, rng) {
+            ServiceOutcome::Idle => {}
+            ServiceOutcome::Retry(at) => {
+                self.events.push(at, EventKind::LinkService(link));
+            }
+            ServiceOutcome::Deliver {
+                pkt,
+                arrival,
+                next_service,
+            } => {
+                let to = l.to;
+                if let Some(t) = next_service {
+                    self.events.push(t, EventKind::LinkService(link));
+                }
+                self.events.push(arrival, EventKind::Deliver(to, pkt));
+            }
+        }
+    }
+
+    fn enqueue_on_link(&mut self, link: LinkId, pkt: Packet) {
+        let l = &mut self.links[link.index()];
+        let rng = &mut self.link_rngs[link.index()];
+        match l.enqueue(pkt, self.now, rng) {
+            EnqueueOutcome::Queued {
+                schedule_service: true,
+                service_at,
+            } => {
+                self.events.push(service_at, EventKind::LinkService(link));
+            }
+            EnqueueOutcome::Queued { .. } => {}
+            // Drops are counted in link stats; nothing further to do.
+            EnqueueOutcome::DroppedLoss
+            | EnqueueOutcome::DroppedFull
+            | EnqueueOutcome::DroppedEarly => {}
+        }
+    }
+
+    fn record_capture(&mut self, node: NodeId, dir: Direction, pkt: &Packet) {
+        for c in &mut self.captures {
+            if c.node == node {
+                c.record(self.now, dir, pkt);
+            }
+        }
+    }
+
+    fn agent_callback(&mut self, node: NodeId, call: AgentCall) {
+        // Take the agent out so we can hand `self`-derived context in.
+        let (mut agent, mut rng) = match &mut self.nodes[node.index()] {
+            NodeSlot::Host { agent, rng } => (
+                agent.take().expect("agent re-entrancy"),
+                std::mem::replace(rng, StdRng::from_rng_placeholder()),
+            ),
+            NodeSlot::Router => return,
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        debug_assert!(cmds.is_empty());
+        {
+            let mut ctx = Ctx::new(self.now, node, &mut cmds, &mut rng);
+            match call {
+                AgentCall::Start => agent.on_start(&mut ctx),
+                AgentCall::Timer(token) => agent.on_timer(&mut ctx, token),
+                AgentCall::Packet(pkt) => agent.on_packet(&mut ctx, pkt),
+            }
+        }
+        // Put the agent back before applying commands (commands may
+        // deliver packets only via events, so no re-entrancy).
+        match &mut self.nodes[node.index()] {
+            NodeSlot::Host {
+                agent: slot,
+                rng: rslot,
+            } => {
+                *slot = Some(agent);
+                *rslot = rng;
+            }
+            NodeSlot::Router => unreachable!(),
+        }
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Send(spec) => self.send_from(node, spec),
+                Command::SetTimer(delay, token) => {
+                    self.events
+                        .push(self.now + delay, EventKind::Timer(node, token));
+                }
+            }
+        }
+        self.cmd_buf = cmds;
+    }
+
+    fn send_from(&mut self, node: NodeId, spec: PacketSpec) {
+        let pkt = Packet {
+            id: PacketId(self.next_packet_id),
+            flow: spec.flow,
+            src: node,
+            dst: spec.dst,
+            size: spec.size,
+            sent_at: self.now,
+            kind: spec.kind,
+        };
+        self.next_packet_id += 1;
+        self.record_capture(node, Direction::Out, &pkt);
+        match self.route(node, pkt.dst) {
+            Some(link) => self.enqueue_on_link(link, pkt),
+            None => {
+                debug_assert!(false, "no route from {node} to {}", pkt.dst);
+            }
+        }
+    }
+
+    /// Schedule an extra `Start` activation for a host at `time` — used
+    /// by harnesses to kick an agent that was added with a start far in
+    /// the future, or to wake it for a new phase.
+    pub fn schedule_start(&mut self, node: NodeId, time: SimTime) {
+        self.events.push(time, EventKind::Start(node));
+    }
+
+    /// Schedule a timer for a host from outside (harness-driven phase
+    /// changes).
+    pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, token: TimerToken) {
+        self.events.push(at, EventKind::Timer(node, token));
+    }
+
+    /// Schedule a link-parameter change at `at` (time-varying paths:
+    /// congestion windows, capacity changes).
+    pub fn schedule_link_reconfig(&mut self, at: SimTime, link: LinkId, cfg: LinkConfig) {
+        assert!(link.index() < self.links.len(), "unknown link");
+        self.events.push(at, EventKind::LinkReconfig(link, cfg));
+    }
+}
+
+/// Helper: replace-placeholder RNG used while an agent callback runs.
+/// Never actually sampled.
+trait RngPlaceholder {
+    fn from_rng_placeholder() -> Self;
+}
+impl RngPlaceholder for StdRng {
+    fn from_rng_placeholder() -> Self {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(0)
+    }
+}
+
+enum AgentCall {
+    Start,
+    Timer(TimerToken),
+    Packet(Packet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::SinkAgent;
+    use crate::ids::FlowId;
+    use crate::packet::{PacketKind, PacketSpec};
+
+    /// Sends `count` background packets of `size` to `dst`, one per
+    /// `interval`, starting immediately.
+    struct Blaster {
+        dst: NodeId,
+        count: u32,
+        size: u32,
+        interval: SimDuration,
+        sent: u32,
+        received: u32,
+        last_rtt_ignore: (),
+    }
+
+    impl Blaster {
+        fn new(dst: NodeId, count: u32, size: u32, interval: SimDuration) -> Self {
+            Blaster {
+                dst,
+                count,
+                size,
+                interval,
+                sent: 0,
+                received: 0,
+                last_rtt_ignore: (),
+            }
+        }
+    }
+
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: TimerToken) {
+            if self.sent < self.count {
+                ctx.send(PacketSpec::background(FlowId(1), self.dst, self.size));
+                self.sent += 1;
+                ctx.set_timer(self.interval, 0);
+            }
+            let _ = self.last_rtt_ignore;
+        }
+    }
+
+    fn two_hosts_one_router(seed: u64) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(2),
+            10,
+            1000,
+            SimDuration::from_millis(1),
+        )));
+        let r = sim.add_router();
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let cfg = LinkConfig::new(100_000_000, SimDuration::from_millis(5));
+        sim.add_duplex_link(a, r, cfg.clone());
+        sim.add_duplex_link(r, b, cfg);
+        sim.compute_routes();
+        (sim, a, b)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end_through_router() {
+        let (mut sim, _a, b) = two_hosts_one_router(1);
+        assert_eq!(sim.run(), StopReason::Drained);
+        let sink: &SinkAgent = sim.agent(b).unwrap();
+        assert_eq!(sink.packets, 10);
+        assert_eq!(sink.bytes, 10_000);
+        // 2 hops × 5 ms prop: last packet sent at 9 ms arrives > 19 ms.
+        assert!(sim.now() >= SimTime::from_millis(19));
+    }
+
+    #[test]
+    fn captures_see_both_directions() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(1),
+            5,
+            500,
+            SimDuration::from_millis(1),
+        )));
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        sim.add_duplex_link(a, b, LinkConfig::new(10_000_000, SimDuration::from_millis(2)));
+        sim.compute_routes();
+        let cap_a = sim.attach_capture(a);
+        let cap_b = sim.attach_capture(b);
+        sim.run();
+        let ca = sim.capture(cap_a);
+        assert_eq!(ca.records.len(), 5);
+        assert!(ca.records.iter().all(|r| r.dir == Direction::Out));
+        let cb = sim.capture(cap_b);
+        assert_eq!(cb.records.len(), 5);
+        assert!(cb.records.iter().all(|r| r.dir == Direction::In));
+        // Timestamps at the receiver trail the sender by at least prop.
+        assert!(cb.records[0].time >= ca.records[0].time + SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let (mut s1, _, b1) = two_hosts_one_router(42);
+        let (mut s2, _, b2) = two_hosts_one_router(42);
+        let c1 = s1.attach_capture(b1);
+        let c2 = s2.attach_capture(b2);
+        s1.run();
+        s2.run();
+        assert_eq!(s1.capture(c1).records, s2.capture(c2).records);
+        assert_eq!(s1.events_processed(), s2.events_processed());
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let (mut sim, _, b) = two_hosts_one_router(1);
+        let stop = sim.run_until(SimTime::from_millis(3));
+        assert_eq!(stop, StopReason::Horizon);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+        let sink: &SinkAgent = sim.agent(b).unwrap();
+        assert!(sink.packets < 10);
+        // Resume to completion.
+        assert_eq!(sim.run(), StopReason::Drained);
+        let sink: &SinkAgent = sim.agent(b).unwrap();
+        assert_eq!(sink.packets, 10);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        let (mut sim, _, _) = two_hosts_one_router(1);
+        sim.set_event_budget(5);
+        assert_eq!(sim.run(), StopReason::EventBudget);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn compute_routes_prefers_short_paths() {
+        // a → r1 → b and a → r1 → r2 → b; route a→b must use r1→b.
+        let mut sim = Simulator::new(1);
+        let a = sim.add_host(Box::new(SinkAgent::default()));
+        let r1 = sim.add_router();
+        let r2 = sim.add_router();
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let cfg = LinkConfig::new(1_000_000, SimDuration::from_millis(1));
+        let a_r1 = sim.add_link(a, r1, cfg.clone());
+        let r1_b = sim.add_link(r1, b, cfg.clone());
+        let _r1_r2 = sim.add_link(r1, r2, cfg.clone());
+        let _r2_b = sim.add_link(r2, b, cfg);
+        sim.compute_routes();
+        assert_eq!(sim.route(a, b), Some(a_r1));
+        assert_eq!(sim.route(r1, b), Some(r1_b));
+        assert_eq!(sim.route(b, a), None); // no reverse links exist
+    }
+
+    #[test]
+    fn explicit_route_overrides() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_host(Box::new(SinkAgent::default()));
+        let r1 = sim.add_router();
+        let r2 = sim.add_router();
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let cfg = LinkConfig::new(1_000_000, SimDuration::from_millis(1));
+        let _a_r1 = sim.add_link(a, r1, cfg.clone());
+        let a_r2 = sim.add_link(a, r2, cfg.clone());
+        let _r1_b = sim.add_link(r1, b, cfg.clone());
+        let _r2_b = sim.add_link(r2, b, cfg);
+        sim.compute_routes();
+        sim.set_route(a, b, a_r2);
+        assert_eq!(sim.route(a, b), Some(a_r2));
+    }
+
+    #[test]
+    fn queueing_delay_emerges_under_load() {
+        // Blast 100 × 1500 B at a 1 Mbps link: transmission is 12 ms per
+        // packet, so the sink receives them 12 ms apart, and the link's
+        // buffer fills (100 ms buffer = ~8 packets; the rest drop).
+        let mut sim = Simulator::new(5);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(1),
+            100,
+            1500,
+            SimDuration::ZERO, // all at once
+        )));
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let (ab, _) = sim.add_duplex_link(
+            a,
+            b,
+            LinkConfig::new(1_000_000, SimDuration::from_millis(1)).buffer_ms(100),
+        );
+        sim.compute_routes();
+        sim.run();
+        let stats = sim.link_stats(ab);
+        assert!(stats.dropped_full > 0, "buffer never overflowed");
+        let sink: &SinkAgent = sim.agent(b).unwrap();
+        assert_eq!(sink.packets + stats.dropped_full, 100);
+        assert!(stats.mean_queue_delay() > SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn run_sampled_observes_at_interval() {
+        let (mut sim, _, _) = two_hosts_one_router(1);
+        let mut seen = Vec::new();
+        let stop = sim.run_sampled(
+            SimTime::from_millis(10),
+            SimDuration::from_millis(2),
+            |s| seen.push(s.now()),
+        );
+        assert_eq!(stop, StopReason::Horizon);
+        // Observations at 0, 2, 4, 6, 8 ms.
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[1], SimTime::from_millis(2));
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn link_reconfigure_takes_effect_mid_run() {
+        // Blast packets at a slow link, then reconfigure it 10× faster
+        // mid-queue: the backlog must drain at the new rate.
+        let mut sim = Simulator::new(8);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(1),
+            20,
+            1500,
+            SimDuration::ZERO,
+        )));
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let slow = LinkConfig::new(1_000_000, SimDuration::ZERO).buffer_bytes(100_000);
+        let (ab, _) = sim.add_duplex_link(a, b, slow);
+        sim.compute_routes();
+        // At 1 Mbps a 1500 B packet takes 12 ms; 20 packets = 240 ms.
+        // Reconfigure to 10 Mbps at t = 24 ms (after ~2 packets).
+        sim.schedule_link_reconfig(
+            SimTime::from_millis(24),
+            ab,
+            LinkConfig::new(10_000_000, SimDuration::ZERO).buffer_bytes(100_000),
+        );
+        sim.run();
+        let sink: &SinkAgent = sim.agent(b).unwrap();
+        assert_eq!(sink.packets, 20, "packets lost across reconfig");
+        // 2 packets at 12 ms + 18 packets at 1.2 ms ≈ 46 ms ≪ 240 ms.
+        assert!(
+            sim.now() < SimTime::from_millis(80),
+            "drain did not speed up: {}",
+            sim.now()
+        );
+    }
+
+    #[test]
+    fn timer_tokens_roundtrip() {
+        struct TimerEcho {
+            got: Vec<TimerToken>,
+        }
+        impl Agent for TimerEcho {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(2), 7);
+                ctx.set_timer(SimDuration::from_millis(1), 9);
+            }
+            fn on_packet(&mut self, _: &mut Ctx, _: Packet) {}
+            fn on_timer(&mut self, _: &mut Ctx, token: TimerToken) {
+                self.got.push(token);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let a = sim.add_host(Box::new(TimerEcho { got: vec![] }));
+        sim.run();
+        let agent: &TimerEcho = sim.agent(a).unwrap();
+        assert_eq!(agent.got, vec![9, 7]);
+    }
+
+    #[test]
+    fn router_echoes_probe_requests() {
+        use crate::packet::{PacketKind, PacketSpec, ProbeKind};
+        struct Prober {
+            target: NodeId,
+            rtt_ns: Option<u64>,
+        }
+        impl Agent for Prober {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.send(PacketSpec::probe(FlowId(1), self.target, ProbeKind::Request, 7));
+            }
+            fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+                if let PacketKind::Probe {
+                    kind: ProbeKind::Reply { sent_at },
+                    ident: 7,
+                } = pkt.kind
+                {
+                    self.rtt_ns = Some(ctx.now().saturating_since(sent_at).as_nanos());
+                }
+            }
+            fn on_timer(&mut self, _: &mut Ctx, _: TimerToken) {}
+        }
+        let mut sim = Simulator::new(1);
+        let p = sim.add_host(Box::new(Prober {
+            target: NodeId(1),
+            rtt_ns: None,
+        }));
+        let r = sim.add_router();
+        sim.add_duplex_link(p, r, LinkConfig::new(100_000_000, SimDuration::from_millis(5)));
+        sim.compute_routes();
+        sim.run();
+        let prober: &Prober = sim.agent(p).unwrap();
+        let rtt = prober.rtt_ns.expect("router reply");
+        // ~2 × 5 ms plus serialization.
+        assert!(rtt > 10_000_000 && rtt < 11_000_000, "rtt {rtt}");
+    }
+
+    #[test]
+    fn background_packet_to_router_is_absorbed() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(1),
+            1,
+            100,
+            SimDuration::ZERO,
+        )));
+        let r = sim.add_router();
+        sim.add_duplex_link(a, r, LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+        sim.compute_routes();
+        // Blaster targets NodeId(1) == the router.
+        sim.run();
+        // Nothing to assert beyond "did not panic / did not loop".
+        assert!(sim.events_processed() > 0);
+    }
+
+    #[test]
+    fn take_capture_removes_records() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(1),
+            2,
+            100,
+            SimDuration::from_millis(1),
+        )));
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        sim.add_duplex_link(a, b, LinkConfig::new(10_000_000, SimDuration::from_millis(1)));
+        sim.compute_routes();
+        let h = sim.attach_capture(a);
+        sim.run();
+        let cap = sim.take_capture(h);
+        assert_eq!(cap.records.len(), 2);
+        assert!(sim.capture(h).is_empty());
+    }
+
+    #[test]
+    fn probe_packet_kind_is_preserved() {
+        use crate::packet::ProbeKind;
+        struct Prober {
+            dst: NodeId,
+            reply_seen: bool,
+        }
+        impl Agent for Prober {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.send(PacketSpec::probe(FlowId(0), self.dst, ProbeKind::Request, 5));
+            }
+            fn on_packet(&mut self, _: &mut Ctx, pkt: Packet) {
+                if let PacketKind::Probe {
+                    kind: ProbeKind::Reply { .. },
+                    ident,
+                } = pkt.kind
+                {
+                    assert_eq!(ident, 5);
+                    self.reply_seen = true;
+                }
+            }
+            fn on_timer(&mut self, _: &mut Ctx, _: TimerToken) {}
+        }
+        struct Responder;
+        impl Agent for Responder {
+            fn on_start(&mut self, _: &mut Ctx) {}
+            fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+                if let PacketKind::Probe {
+                    kind: ProbeKind::Request,
+                    ident,
+                } = pkt.kind
+                {
+                    ctx.send(PacketSpec::probe(
+                        pkt.flow,
+                        pkt.src,
+                        ProbeKind::Reply {
+                            sent_at: pkt.sent_at,
+                        },
+                        ident,
+                    ));
+                }
+            }
+            fn on_timer(&mut self, _: &mut Ctx, _: TimerToken) {}
+        }
+        let mut sim = Simulator::new(1);
+        let p = sim.add_host(Box::new(Prober {
+            dst: NodeId(1),
+            reply_seen: false,
+        }));
+        let q = sim.add_host(Box::new(Responder));
+        sim.add_duplex_link(p, q, LinkConfig::new(1_000_000, SimDuration::from_millis(3)));
+        sim.compute_routes();
+        sim.run();
+        let prober: &Prober = sim.agent(p).unwrap();
+        assert!(prober.reply_seen);
+    }
+}

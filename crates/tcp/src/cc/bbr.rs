@@ -1,0 +1,255 @@
+//! BBR-lite: a window-based approximation of BBR (Cardwell et al. 2016).
+//!
+//! Real BBR is rate-paced; this simulator's senders are window-clocked,
+//! so BbrLite approximates the model: it maintains a windowed-max
+//! estimate of delivery rate and a windowed-min estimate of RTT and
+//! sets `cwnd = gain × bandwidth × min_rtt`. Startup uses a 2/ln2 gain
+//! and exits when bandwidth stops growing; a brief drain then returns
+//! the queue to baseline. Loss does not reduce the window (the defining
+//! property that §6 of the paper flags as a confounder for the
+//! signature technique).
+
+use super::{AckInfo, CongestionControl};
+use csig_netsim::{SimDuration, SimTime};
+
+/// High gain used while searching for the bottleneck bandwidth.
+const STARTUP_GAIN: f64 = 2.885;
+/// Gain used to drain the startup queue.
+const DRAIN_GAIN: f64 = 0.5;
+/// Steady-state cwnd gain over the estimated BDP.
+const CRUISE_GAIN: f64 = 2.0;
+/// Bandwidth filter window, in "rounds" (RTTs).
+const BW_WINDOW_ROUNDS: usize = 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Startup,
+    Drain,
+    Cruise,
+}
+
+/// Simplified BBR state.
+#[derive(Debug)]
+pub struct BbrLite {
+    mss: u64,
+    cwnd: u64,
+    phase: Phase,
+    /// (round index, bytes/sec) samples for the max filter.
+    bw_samples: Vec<(u64, f64)>,
+    min_rtt: Option<SimDuration>,
+    /// Delivered bytes in the current round.
+    round_delivered: u64,
+    round_start: Option<SimTime>,
+    round_index: u64,
+    /// Best bandwidth seen, for startup plateau detection.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    drain_round: u64,
+}
+
+impl BbrLite {
+    /// New instance with `init_cwnd_segments × mss` window.
+    pub fn new(mss: u32, init_cwnd_segments: u32) -> Self {
+        let mss = mss as u64;
+        BbrLite {
+            mss,
+            cwnd: mss * init_cwnd_segments as u64,
+            phase: Phase::Startup,
+            bw_samples: Vec::new(),
+            min_rtt: None,
+            round_delivered: 0,
+            round_start: None,
+            round_index: 0,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            drain_round: 0,
+        }
+    }
+
+    fn max_bw(&self) -> f64 {
+        self.bw_samples
+            .iter()
+            .map(|&(_, bw)| bw)
+            .fold(0.0, f64::max)
+    }
+
+    fn bdp_bytes(&self) -> Option<f64> {
+        let bw = self.max_bw();
+        let rtt = self.min_rtt?;
+        if bw <= 0.0 {
+            return None;
+        }
+        Some(bw * rtt.as_secs_f64())
+    }
+
+    fn end_round(&mut self, now: SimTime) {
+        let start = self.round_start.expect("round in progress");
+        let dur = now.saturating_since(start).as_secs_f64();
+        if dur > 0.0 && self.round_delivered > 0 {
+            let bw = self.round_delivered as f64 / dur;
+            self.bw_samples.push((self.round_index, bw));
+            let cutoff = self.round_index.saturating_sub(BW_WINDOW_ROUNDS as u64);
+            self.bw_samples.retain(|&(r, _)| r >= cutoff);
+
+            // Startup plateau detection: bandwidth grew < 25%?
+            if self.phase == Phase::Startup {
+                if bw > self.full_bw * 1.25 {
+                    self.full_bw = bw.max(self.full_bw);
+                    self.full_bw_rounds = 0;
+                } else {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= 3 {
+                        self.phase = Phase::Drain;
+                        self.drain_round = self.round_index + 1;
+                    }
+                }
+            } else if self.phase == Phase::Drain && self.round_index > self.drain_round {
+                self.phase = Phase::Cruise;
+            }
+        }
+        self.round_index += 1;
+        self.round_start = Some(now);
+        self.round_delivered = 0;
+    }
+
+    fn gain(&self) -> f64 {
+        match self.phase {
+            Phase::Startup => STARTUP_GAIN,
+            Phase::Drain => DRAIN_GAIN,
+            Phase::Cruise => CRUISE_GAIN,
+        }
+    }
+}
+
+impl CongestionControl for BbrLite {
+    fn on_ack(&mut self, info: &AckInfo) {
+        if let Some(rtt) = info.rtt_sample {
+            self.min_rtt = Some(match self.min_rtt {
+                Some(m) => m.min(rtt),
+                None => rtt,
+            });
+        }
+        self.round_delivered += info.bytes_acked;
+        match (self.round_start, info.srtt) {
+            (None, _) => self.round_start = Some(info.now),
+            (Some(start), Some(srtt)) => {
+                if info.now.saturating_since(start) >= srtt {
+                    self.end_round(info.now);
+                }
+            }
+            _ => {}
+        }
+        if let Some(bdp) = self.bdp_bytes() {
+            let target = (self.gain() * bdp) as u64;
+            self.cwnd = target.max(4 * self.mss);
+        } else {
+            // No model yet: exponential probe like slow start.
+            self.cwnd += info.bytes_acked.min(self.mss);
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _flight: u64, _now: SimTime) {
+        // BBR does not back off on isolated loss; cap mildly to avoid
+        // pathological inflation while the model adapts.
+        self.cwnd = self.cwnd.max(4 * self.mss);
+    }
+
+    fn on_retransmission_timeout(&mut self, _flight: u64, _now: SimTime) {
+        // Conservative: restart the model.
+        self.cwnd = 4 * self.mss;
+        self.bw_samples.clear();
+        self.full_bw = 0.0;
+        self.full_bw_rounds = 0;
+        self.phase = Phase::Startup;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        u64::MAX / 2
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.phase == Phase::Startup
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr-lite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1448;
+
+    fn ack(now_ms: u64, bytes: u64, rtt_ms: u64) -> AckInfo {
+        AckInfo {
+            now: SimTime::from_millis(now_ms),
+            bytes_acked: bytes,
+            rtt_sample: Some(SimDuration::from_millis(rtt_ms)),
+            srtt: Some(SimDuration::from_millis(rtt_ms)),
+            flight: 0,
+            in_recovery: false,
+        }
+    }
+
+    #[test]
+    fn grows_without_model_then_tracks_bdp() {
+        let mut cc = BbrLite::new(MSS as u32, 10);
+        assert!(cc.in_slow_start());
+        // Feed a steady 10 Mbps, 40 ms path: 50 KB per 40 ms round.
+        let mut t = 0;
+        for _ in 0..100 {
+            t += 4;
+            cc.on_ack(&ack(t, 5_000, 40));
+        }
+        // BDP = 1.25e6 B/s × 0.04 s = 50_000 B; cwnd ≈ gain × BDP.
+        let bdp = 50_000.0;
+        let w = cc.cwnd() as f64;
+        assert!(w > 0.4 * bdp, "cwnd {w} far below BDP {bdp}");
+        assert!(w < 8.0 * bdp, "cwnd {w} absurdly above BDP {bdp}");
+    }
+
+    #[test]
+    fn startup_exits_on_bandwidth_plateau() {
+        let mut cc = BbrLite::new(MSS as u32, 10);
+        let mut t = 0;
+        // Constant delivery rate: bandwidth never grows, so startup
+        // should end within a handful of rounds.
+        for _ in 0..400 {
+            t += 4;
+            cc.on_ack(&ack(t, 5_000, 40));
+        }
+        assert!(!cc.in_slow_start(), "still in startup after 40 rounds");
+    }
+
+    #[test]
+    fn loss_does_not_collapse_window() {
+        let mut cc = BbrLite::new(MSS as u32, 10);
+        let mut t = 0;
+        for _ in 0..100 {
+            t += 4;
+            cc.on_ack(&ack(t, 5_000, 40));
+        }
+        let before = cc.cwnd();
+        cc.on_fast_retransmit(before, SimTime::from_millis(t));
+        assert_eq!(cc.cwnd(), before, "BBR-lite must ignore isolated loss");
+    }
+
+    #[test]
+    fn timeout_restarts_model() {
+        let mut cc = BbrLite::new(MSS as u32, 10);
+        let mut t = 0;
+        for _ in 0..100 {
+            t += 4;
+            cc.on_ack(&ack(t, 5_000, 40));
+        }
+        cc.on_retransmission_timeout(cc.cwnd(), SimTime::from_millis(t));
+        assert_eq!(cc.cwnd(), 4 * MSS);
+        assert!(cc.in_slow_start());
+    }
+}

@@ -1,0 +1,231 @@
+//! CUBIC congestion control (RFC 8312).
+//!
+//! Window growth in congestion avoidance follows the cubic function
+//! `W(t) = C·(t − K)³ + W_max` anchored at the window before the last
+//! loss, with a TCP-friendly floor so CUBIC never does worse than
+//! Reno on short-RTT paths. Slow start and recovery entry/exit follow
+//! the standard loss-based template.
+
+use super::{AckInfo, CongestionControl};
+use csig_netsim::SimTime;
+
+/// RFC 8312 constants.
+const C: f64 = 0.4;
+const BETA: f64 = 0.7;
+
+/// CUBIC state. Window arithmetic is done in MSS units internally.
+#[derive(Debug)]
+pub struct Cubic {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Window size (MSS) just before the last reduction.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset at which W(t) crosses w_max again.
+    k: f64,
+    /// Reno-equivalent estimate for the TCP-friendly region.
+    w_est: f64,
+}
+
+impl Cubic {
+    /// New instance with `init_cwnd_segments × mss` window.
+    pub fn new(mss: u32, init_cwnd_segments: u32) -> Self {
+        let mss = mss as u64;
+        Cubic {
+            mss,
+            cwnd: mss * init_cwnd_segments as u64,
+            ssthresh: u64::MAX / 2,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+        }
+    }
+
+    fn cwnd_mss(&self) -> f64 {
+        self.cwnd as f64 / self.mss as f64
+    }
+
+    fn enter_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        let w = self.cwnd_mss();
+        if self.w_max < w {
+            // Fast convergence off: anchor at current window.
+            self.w_max = w;
+        }
+        self.k = ((self.w_max * (1.0 - BETA)) / C).cbrt();
+        self.w_est = w;
+    }
+
+    fn reduce(&mut self, now: SimTime) {
+        let w = self.cwnd_mss();
+        self.w_max = w;
+        let new = (w * BETA).max(2.0);
+        self.cwnd = (new * self.mss as f64) as u64;
+        self.ssthresh = self.cwnd.max(2 * self.mss);
+        self.epoch_start = Some(now);
+        self.k = ((self.w_max * (1.0 - BETA)) / C).cbrt();
+        self.w_est = new;
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, info: &AckInfo) {
+        if info.in_recovery {
+            return;
+        }
+        if self.in_slow_start() {
+            self.cwnd += info.bytes_acked.min(self.mss);
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.enter_epoch(info.now);
+        }
+        let t = info
+            .now
+            .saturating_since(self.epoch_start.expect("set above"))
+            .as_secs_f64();
+        let target = C * (t - self.k).powi(3) + self.w_max;
+        let w = self.cwnd_mss();
+        // TCP-friendly Reno estimate: grows ~1 MSS per RTT.
+        if let Some(srtt) = info.srtt {
+            let rtt = srtt.as_secs_f64().max(1e-4);
+            self.w_est += (3.0 * (1.0 - BETA) / (1.0 + BETA))
+                * (info.bytes_acked as f64 / self.mss as f64)
+                / (w.max(1.0))
+                * (rtt / rtt); // per-ACK increment ≈ friendly-rate share
+        }
+        let goal = target.max(self.w_est);
+        if goal > w {
+            // Approach the target over roughly one RTT of ACKs.
+            let incr = ((goal - w) / w).min(0.5) * (info.bytes_acked as f64 / self.mss as f64);
+            self.cwnd += (incr * self.mss as f64) as u64;
+        } else {
+            // Plateau region: creep forward slowly.
+            self.cwnd += (info.bytes_acked as f64 * 0.01) as u64;
+        }
+    }
+
+    fn on_dupack_in_recovery(&mut self) {
+        self.cwnd += self.mss;
+    }
+
+    fn on_partial_ack(&mut self, bytes_acked: u64) {
+        self.cwnd = self.cwnd.saturating_sub(bytes_acked) + self.mss;
+        self.cwnd = self.cwnd.max(self.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, _flight: u64, now: SimTime) {
+        self.reduce(now);
+        // Dupack inflation entry, as with NewReno.
+        self.cwnd = self.ssthresh + 3 * self.mss;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_retransmission_timeout(&mut self, _flight: u64, now: SimTime) {
+        self.reduce(now);
+        self.cwnd = self.mss;
+        self.epoch_start = None;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csig_netsim::SimDuration;
+
+    const MSS: u64 = 1448;
+
+    fn ack_at(ms: u64) -> AckInfo {
+        AckInfo {
+            now: SimTime::from_millis(ms),
+            bytes_acked: MSS,
+            rtt_sample: Some(SimDuration::from_millis(40)),
+            srtt: Some(SimDuration::from_millis(40)),
+            flight: 50 * MSS,
+            in_recovery: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially() {
+        let mut cc = Cubic::new(MSS as u32, 10);
+        let w0 = cc.cwnd();
+        for _ in 0..10 {
+            cc.on_ack(&ack_at(1));
+        }
+        assert_eq!(cc.cwnd(), w0 + 10 * MSS);
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta() {
+        let mut cc = Cubic::new(MSS as u32, 100);
+        let w = cc.cwnd();
+        cc.on_fast_retransmit(w, SimTime::from_millis(100));
+        cc.on_recovery_exit();
+        let expect = (w as f64 * BETA) as u64;
+        let got = cc.cwnd();
+        assert!(
+            (got as f64 - expect as f64).abs() < 2.0 * MSS as f64,
+            "got {got}, expect ~{expect}"
+        );
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_k() {
+        let mut cc = Cubic::new(MSS as u32, 100);
+        cc.on_fast_retransmit(100 * MSS, SimTime::from_millis(0));
+        cc.on_recovery_exit();
+        // Feed ACKs over simulated time; record the window trajectory.
+        // K = cbrt(w_max·(1−β)/C) = cbrt(100·0.3/0.4) ≈ 4.2 s: the window
+        // must plateau near w_max and only exceed it well after K.
+        let w_at = |cc: &Cubic| cc.cwnd() / MSS;
+        let before = w_at(&cc) as i64;
+        let mut early_growth = 0i64;
+        for ms in (10..10_000).step_by(10) {
+            cc.on_ack(&ack_at(ms));
+            if ms == 500 {
+                early_growth = w_at(&cc) as i64 - before;
+            }
+        }
+        let late_growth = w_at(&cc) as i64 - before - early_growth;
+        assert!(early_growth >= 0);
+        assert!(late_growth > 0, "no late growth: {late_growth}");
+        // Window eventually exceeds w_max again (cubic probing past K).
+        assert!(w_at(&cc) > 100, "cwnd {} never re-probed", w_at(&cc));
+    }
+
+    #[test]
+    fn timeout_resets_to_one_mss() {
+        let mut cc = Cubic::new(MSS as u32, 64);
+        cc.on_retransmission_timeout(64 * MSS, SimTime::from_millis(5));
+        assert_eq!(cc.cwnd(), MSS);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn window_floor_is_two_mss_on_reduce() {
+        let mut cc = Cubic::new(MSS as u32, 2);
+        cc.on_fast_retransmit(2 * MSS, SimTime::from_millis(1));
+        cc.on_recovery_exit();
+        assert!(cc.cwnd() >= 2 * MSS);
+    }
+}

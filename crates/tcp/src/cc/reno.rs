@@ -1,0 +1,194 @@
+//! NewReno congestion control (RFC 5681 + RFC 6582 window management).
+
+use super::{AckInfo, CongestionControl};
+use csig_netsim::SimTime;
+
+/// Classic slow start / AIMD with NewReno fast-recovery inflation.
+#[derive(Debug)]
+pub struct NewReno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Fractional byte accumulator for congestion avoidance so small
+    /// ACKs still make progress.
+    ca_acc: u64,
+}
+
+impl NewReno {
+    /// New instance with `init_cwnd_segments × mss` initial window and
+    /// an effectively infinite initial threshold.
+    pub fn new(mss: u32, init_cwnd_segments: u32) -> Self {
+        let mss = mss as u64;
+        NewReno {
+            mss,
+            cwnd: mss * init_cwnd_segments as u64,
+            ssthresh: u64::MAX / 2,
+            ca_acc: 0,
+        }
+    }
+
+    fn halve_reference(&self, flight: u64) -> u64 {
+        // RFC 5681 §3.1: ssthresh = max(FlightSize / 2, 2·SMSS).
+        (flight / 2).max(2 * self.mss)
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn on_ack(&mut self, info: &AckInfo) {
+        if info.in_recovery {
+            return; // partial-ACK handling adjusts the window instead
+        }
+        if self.in_slow_start() {
+            // RFC 3465 appropriate byte counting, L=1.
+            self.cwnd += info.bytes_acked.min(self.mss);
+        } else {
+            // Congestion avoidance: one MSS per window of ACKed data.
+            self.ca_acc += info.bytes_acked;
+            if self.ca_acc >= self.cwnd {
+                self.ca_acc -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_dupack_in_recovery(&mut self) {
+        // Window inflation: each dupack signals a departed segment.
+        self.cwnd += self.mss;
+    }
+
+    fn on_partial_ack(&mut self, bytes_acked: u64) {
+        // Deflate by the amount acknowledged, then add back one MSS
+        // (RFC 6582 §3.2 step 5).
+        self.cwnd = self.cwnd.saturating_sub(bytes_acked) + self.mss;
+        self.cwnd = self.cwnd.max(self.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, flight: u64, _now: SimTime) {
+        self.ssthresh = self.halve_reference(flight);
+        // Enter recovery inflated by the three dupacks that signalled loss.
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.ca_acc = 0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_retransmission_timeout(&mut self, flight: u64, _now: SimTime) {
+        self.ssthresh = self.halve_reference(flight);
+        self.cwnd = self.mss;
+        self.ca_acc = 0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csig_netsim::SimDuration;
+
+    const MSS: u64 = 1448;
+
+    fn ack(bytes: u64, flight: u64) -> AckInfo {
+        AckInfo {
+            now: SimTime::ZERO,
+            bytes_acked: bytes,
+            rtt_sample: Some(SimDuration::from_millis(50)),
+            srtt: Some(SimDuration::from_millis(50)),
+            flight,
+            in_recovery: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        let start = cc.cwnd();
+        // ACK a full window: cwnd should roughly double.
+        let mut acked = 0;
+        while acked < start {
+            cc.on_ack(&ack(MSS, start));
+            acked += MSS;
+        }
+        assert!(cc.cwnd() >= 2 * start - MSS, "cwnd {}", cc.cwnd());
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_window() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        cc.on_fast_retransmit(20 * MSS, SimTime::ZERO);
+        cc.on_recovery_exit();
+        let w = cc.cwnd();
+        assert_eq!(w, cc.ssthresh());
+        assert!(!cc.in_slow_start());
+        // ACK one window worth of bytes.
+        let mut acked = 0;
+        while acked < w {
+            cc.on_ack(&ack(MSS, w));
+            acked += MSS;
+        }
+        assert!(cc.cwnd() >= w + MSS, "{} vs {}", cc.cwnd(), w + MSS);
+        assert!(cc.cwnd() <= w + 2 * MSS);
+    }
+
+    #[test]
+    fn fast_retransmit_halves_flight() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        let flight = 100 * MSS;
+        cc.on_fast_retransmit(flight, SimTime::ZERO);
+        assert_eq!(cc.ssthresh(), 50 * MSS);
+        assert_eq!(cc.cwnd(), 53 * MSS); // +3 dupack inflation
+        cc.on_dupack_in_recovery();
+        assert_eq!(cc.cwnd(), 54 * MSS);
+        cc.on_recovery_exit();
+        assert_eq!(cc.cwnd(), 50 * MSS);
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        cc.on_fast_retransmit(MSS, SimTime::ZERO);
+        assert_eq!(cc.ssthresh(), 2 * MSS);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        cc.on_retransmission_timeout(40 * MSS, SimTime::ZERO);
+        assert_eq!(cc.cwnd(), MSS);
+        assert_eq!(cc.ssthresh(), 20 * MSS);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn partial_ack_deflates() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        cc.on_fast_retransmit(100 * MSS, SimTime::ZERO);
+        let before = cc.cwnd();
+        cc.on_partial_ack(5 * MSS);
+        assert_eq!(cc.cwnd(), before - 5 * MSS + MSS);
+    }
+
+    #[test]
+    fn acks_ignored_while_in_recovery() {
+        let mut cc = NewReno::new(MSS as u32, 10);
+        cc.on_fast_retransmit(100 * MSS, SimTime::ZERO);
+        let before = cc.cwnd();
+        let mut info = ack(MSS, 50 * MSS);
+        info.in_recovery = true;
+        cc.on_ack(&info);
+        assert_eq!(cc.cwnd(), before);
+    }
+}

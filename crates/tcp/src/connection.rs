@@ -1,0 +1,1118 @@
+//! The TCP connection state machine.
+//!
+//! One [`TcpConnection`] instance is one endpoint of one connection. It
+//! contains a send half (sequence tracking, retransmission, recovery,
+//! RTO) and a receive half (reassembly, cumulative ACK generation),
+//! delegates window management to a pluggable
+//! [`CongestionControl`](crate::cc::CongestionControl), and exposes
+//! Web100-style counters in [`ConnStats`].
+//!
+//! The model implements: three-way handshake (with handshake
+//! retransmission), NewReno loss recovery (triple-dupack fast
+//! retransmit, partial ACKs, window inflation/deflation), RFC 6298 RTO
+//! with Karn's rule, SACK-based loss recovery (RFC 2018 blocks with a
+//! scoreboard), go-back-N slow-start restart after a timeout,
+//! receive-window flow control, FIN close, and optional delayed ACKs.
+//! It does not implement timestamps, ECN, or urgent data.
+
+use crate::cc::{AckInfo, CcKind, CongestionControl};
+use crate::rtt::RttEstimator;
+use crate::seq::{offset_of, wire_seq};
+use csig_netsim::{
+    Ctx, FlowId, NodeId, PacketSpec, SimDuration, SimTime, TcpFlags, TcpHeader, TimerToken,
+    NO_SACK,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Endpoint configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes).
+    pub mss: u32,
+    /// Initial congestion window in segments (Linux default 10).
+    pub init_cwnd_segments: u32,
+    /// Receive window advertised to the peer, in bytes.
+    pub recv_window: u32,
+    /// RTO floor (Linux: 200 ms).
+    pub min_rto: SimDuration,
+    /// RTO ceiling.
+    pub max_rto: SimDuration,
+    /// Congestion-control algorithm.
+    pub cc: CcKind,
+    /// If true, ACK every second in-order segment (with a 40 ms flush
+    /// timer); if false, ACK every segment (quickack).
+    pub delayed_ack: bool,
+    /// Record per-ACK RTT/cwnd sample series in [`ConnStats`]. Disable
+    /// for bulk cross-traffic flows to save memory.
+    pub record_samples: bool,
+    /// Advertise and use selective acknowledgments (RFC 2018). The
+    /// paper-era Linux stacks all negotiated SACK; disabling it is an
+    /// ablation knob.
+    pub sack: bool,
+    /// Abort the connection after this many consecutive RTOs (Linux
+    /// `tcp_retries2`-style cap), to bound pathological retry loops.
+    pub max_consecutive_timeouts: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: csig_netsim::DEFAULT_MSS,
+            init_cwnd_segments: 10,
+            recv_window: 16 * 1024 * 1024,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            cc: CcKind::NewReno,
+            delayed_ack: false,
+            record_samples: true,
+            sack: true,
+            max_consecutive_timeouts: 15,
+        }
+    }
+}
+
+/// Connection lifecycle state (simplified: no TIME_WAIT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnState {
+    /// Not yet opened.
+    Closed,
+    /// Passive endpoint waiting for a SYN.
+    Listen,
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received, SYN-ACK sent, awaiting ACK.
+    SynRcvd,
+    /// Data may flow.
+    Established,
+    /// Both FINs exchanged and acknowledged.
+    Done,
+}
+
+/// What limited the sender the last time it tried to transmit — the
+/// Web100 "limited" triple the M-Lab pipeline filters on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendLimit {
+    /// Congestion window was the binding constraint.
+    Cwnd,
+    /// Peer's receive window was the binding constraint.
+    Rwnd,
+    /// The application had nothing (more) to send.
+    App,
+}
+
+/// Web100-style per-connection counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// When the three-way handshake completed.
+    pub established_at: Option<SimTime>,
+    /// When the connection reached [`ConnState::Done`].
+    pub closed_at: Option<SimTime>,
+    /// Payload bytes sent (first transmissions only).
+    pub bytes_sent: u64,
+    /// Payload bytes cumulatively acknowledged.
+    pub bytes_acked: u64,
+    /// Payload bytes received in order.
+    pub bytes_received: u64,
+    /// Data segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Total retransmitted segments.
+    pub retransmits: u64,
+    /// Fast-retransmit events (triple dupack).
+    pub fast_retransmits: u64,
+    /// Retransmission-timeout events.
+    pub timeouts: u64,
+    /// Time of the first retransmission of any kind — the paper's
+    /// slow-start boundary.
+    pub first_retransmit_at: Option<SimTime>,
+    /// In-stack RTT samples `(ack arrival, rtt)` (Karn-filtered).
+    pub rtt_samples: Vec<(SimTime, SimDuration)>,
+    /// Congestion-window samples `(time, cwnd bytes)` at each change.
+    pub cwnd_samples: Vec<(SimTime, u64)>,
+    /// Time spent limited by \[cwnd, rwnd, app\] while established.
+    pub limited: [SimDuration; 3],
+}
+
+impl ConnStats {
+    /// Fraction of established lifetime spent congestion-limited.
+    pub fn congestion_limited_fraction(&self) -> f64 {
+        let total: f64 = self.limited.iter().map(|d| d.as_secs_f64()).sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.limited[0].as_secs_f64() / total
+        }
+    }
+}
+
+/// Metadata for one outstanding (sent, unacked) segment.
+#[derive(Debug, Clone, Copy)]
+struct SegMeta {
+    /// Payload bytes.
+    payload: u32,
+    /// Sequence space consumed (payload, +1 if FIN).
+    seq_len: u32,
+    /// FIN flag on this segment.
+    fin: bool,
+    /// Last transmission time.
+    sent_at: SimTime,
+    /// Has this segment ever been retransmitted (Karn)?
+    retx: bool,
+    /// Selectively acknowledged by the peer.
+    sacked: bool,
+}
+
+/// Local (low-32-bit) token value reserved for the delayed-ACK flush.
+const DELACK_TOKEN: u64 = 1 << 31;
+const DELACK_FLUSH: SimDuration = SimDuration::from_millis(40);
+
+/// Extract the flow id a connection embedded in a timer token, so an
+/// agent managing many connections can route the firing.
+pub fn token_flow(token: TimerToken) -> FlowId {
+    FlowId((token >> 32) as u32)
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Debug)]
+pub struct TcpConnection {
+    /// Flow id carried on every packet of this connection.
+    pub flow: FlowId,
+    /// The remote host.
+    pub peer: NodeId,
+    cfg: TcpConfig,
+    state: ConnState,
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+
+    // ---- send half ----
+    iss: u32,
+    /// Lowest unacknowledged stream offset (0 = first payload byte).
+    snd_una: u64,
+    /// Next stream offset to transmit.
+    snd_nxt: u64,
+    /// Total payload the application will send; `None` = unbounded.
+    app_limit: Option<u64>,
+    /// Payload made available so far when streaming incrementally.
+    app_avail: u64,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_acked: bool,
+    segs: BTreeMap<u64, SegMeta>,
+    /// Highest stream offset ever transmitted (for go-back-N marking).
+    high_water: u64,
+    dupacks: u32,
+    /// NewReno recovery point (`snd_nxt` at loss detection).
+    recovery: Option<u64>,
+    /// Bytes of outstanding segments selectively acknowledged (RFC 6675
+    /// pipe accounting).
+    sacked_bytes: u64,
+    /// Highest stream offset covered by any SACK block (RFC 6675
+    /// loss-inference boundary).
+    highest_sacked: u64,
+    consec_timeouts: u32,
+    peer_rwnd: u64,
+    rto_gen: u64,
+    rto_armed: bool,
+
+    // ---- receive half ----
+    irs: u32,
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, u64>,
+    peer_fin_offset: Option<u64>,
+    delack_count: u32,
+    delack_timer_armed: bool,
+
+    // ---- accounting ----
+    last_limit: Option<(SendLimit, SimTime)>,
+    /// Public counters.
+    pub stats: ConnStats,
+}
+
+impl TcpConnection {
+    /// A passive (listening) endpoint.
+    pub fn listen(flow: FlowId, peer: NodeId, cfg: TcpConfig) -> Self {
+        Self::new(flow, peer, cfg, ConnState::Listen)
+    }
+
+    /// An active endpoint; call [`TcpConnection::open`] to emit the SYN.
+    pub fn active(flow: FlowId, peer: NodeId, cfg: TcpConfig) -> Self {
+        Self::new(flow, peer, cfg, ConnState::Closed)
+    }
+
+    fn new(flow: FlowId, peer: NodeId, cfg: TcpConfig, state: ConnState) -> Self {
+        let cc = cfg.cc.build(cfg.mss, cfg.init_cwnd_segments);
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
+        // Deterministic ISS derived from flow id; uniqueness per flow is
+        // all that matters in the simulator.
+        let iss = 0x1000_0000u32.wrapping_add(flow.0.wrapping_mul(2_654_435_761));
+        TcpConnection {
+            flow,
+            peer,
+            cfg,
+            state,
+            cc,
+            rtt,
+            iss,
+            snd_una: 0,
+            snd_nxt: 0,
+            app_limit: Some(0),
+            app_avail: 0,
+            fin_queued: false,
+            fin_sent: false,
+            fin_acked: false,
+            segs: BTreeMap::new(),
+            high_water: 0,
+            dupacks: 0,
+            recovery: None,
+            sacked_bytes: 0,
+            highest_sacked: 0,
+            consec_timeouts: 0,
+            peer_rwnd: 64 * 1024,
+            rto_gen: 0,
+            rto_armed: false,
+            irs: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            peer_fin_offset: None,
+            delack_count: 0,
+            delack_timer_armed: false,
+            last_limit: None,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Handshake complete and not yet closed.
+    pub fn is_established(&self) -> bool {
+        self.state == ConnState::Established
+    }
+
+    /// Fully closed (both FINs acknowledged).
+    pub fn is_done(&self) -> bool {
+        self.state == ConnState::Done
+    }
+
+    /// The peer has finished sending (its FIN was consumed in order).
+    pub fn peer_closed(&self) -> bool {
+        matches!(self.peer_fin_offset, Some(f) if self.rcv_nxt >= f)
+    }
+
+    /// All queued application data (and FIN, if queued) acknowledged.
+    pub fn send_complete(&self) -> bool {
+        match self.app_limit {
+            Some(limit) => self.snd_una >= limit && (!self.fin_queued || self.fin_acked),
+            None => false,
+        }
+    }
+
+    /// In-order payload bytes delivered so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.rcv_nxt.min(self.peer_fin_offset.unwrap_or(self.rcv_nxt))
+    }
+
+    /// Diagnostic snapshot of sender-side state (debugging aid).
+    pub fn debug_state(&self) -> String {
+        format!(
+            "state={:?} snd_una={} snd_nxt={} hw={} app_limit={:?} fin(q/s/a)={}{}{} segs={} dupacks={} recovery={:?} rto_armed={} rto={} peer_rwnd={} cwnd={} ssthresh={} rcv_nxt={} ooo={} peer_fin={:?}",
+            self.state, self.snd_una, self.snd_nxt, self.high_water, self.app_limit,
+            self.fin_queued as u8, self.fin_sent as u8, self.fin_acked as u8,
+            self.segs.len(), self.dupacks, self.recovery, self.rto_armed, self.rtt.rto(),
+            self.peer_rwnd, self.cc.cwnd(), self.cc.ssthresh(), self.rcv_nxt, self.ooo.len(),
+            self.peer_fin_offset,
+        )
+    }
+
+    /// Out-of-order ranges held by the receive half (debugging aid).
+    pub fn debug_ooo(&self) -> Vec<(u64, u64)> {
+        self.ooo.iter().map(|(&s, &e)| (s, e)).collect()
+    }
+
+    /// The RTT estimator (read-only).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// Whether the congestion controller is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cc.in_slow_start()
+    }
+
+    /// Queue `bytes` of application payload for transmission. May be
+    /// called repeatedly; has no effect once the FIN is queued.
+    pub fn send_data(&mut self, ctx: &mut Ctx, bytes: u64) {
+        if self.fin_queued {
+            return;
+        }
+        self.app_avail += bytes;
+        match &mut self.app_limit {
+            Some(limit) => *limit += bytes,
+            None => {}
+        }
+        self.try_send(ctx);
+    }
+
+    /// Switch to unbounded sending: the connection always has payload
+    /// available (netperf-style) until [`TcpConnection::close`].
+    pub fn send_unbounded(&mut self, ctx: &mut Ctx) {
+        self.app_limit = None;
+        self.try_send(ctx);
+    }
+
+    /// Queue a FIN after all currently queued data.
+    pub fn close(&mut self, ctx: &mut Ctx) {
+        if self.fin_queued {
+            return;
+        }
+        // Freeze the limit where it stands for unbounded senders.
+        let limit = self.app_limit.unwrap_or(self.snd_nxt.max(self.app_avail));
+        self.app_limit = Some(limit);
+        self.app_avail = self.app_avail.max(limit);
+        self.fin_queued = true;
+        self.try_send(ctx);
+    }
+
+    /// Abort the connection: send a RST to the peer and move to `Done`
+    /// (the model of a client killing a fixed-duration test).
+    pub fn abort(&mut self, ctx: &mut Ctx) {
+        if matches!(self.state, ConnState::Done | ConnState::Closed) {
+            self.state = ConnState::Done;
+            return;
+        }
+        let hdr = TcpHeader {
+            seq: wire_seq(self.iss.wrapping_add(1), self.snd_nxt),
+            ack: wire_seq(self.irs.wrapping_add(1), self.rcv_nxt),
+            flags: TcpFlags::RST | TcpFlags::ACK,
+            payload_len: 0,
+            window: 0,
+            sack: NO_SACK,
+        };
+        ctx.send(PacketSpec::tcp(self.flow, self.peer, hdr));
+        self.state = ConnState::Done;
+        self.stats.closed_at.get_or_insert(ctx.now());
+    }
+
+    /// Actively open the connection (client side): emit the SYN.
+    pub fn open(&mut self, ctx: &mut Ctx) {
+        assert_eq!(self.state, ConnState::Closed, "open() on non-closed");
+        self.state = ConnState::SynSent;
+        self.emit_syn(ctx, false);
+        self.arm_rto(ctx);
+    }
+
+    fn emit_syn(&mut self, ctx: &mut Ctx, with_ack: bool) {
+        let flags = if with_ack {
+            TcpFlags::SYN | TcpFlags::ACK
+        } else {
+            TcpFlags::SYN
+        };
+        let hdr = TcpHeader {
+            seq: self.iss,
+            ack: if with_ack {
+                wire_seq(self.irs, self.rcv_nxt).wrapping_add(1)
+            } else {
+                0
+            },
+            flags,
+            payload_len: 0,
+            window: self.cfg.recv_window,
+            sack: NO_SACK,
+        };
+        ctx.send(PacketSpec::tcp(self.flow, self.peer, hdr));
+    }
+
+    // ------------------------------------------------------------------
+    // Segment input
+    // ------------------------------------------------------------------
+
+    /// Process an arriving segment addressed to this connection.
+    pub fn on_segment(&mut self, ctx: &mut Ctx, hdr: &TcpHeader) {
+        if hdr.flags.rst() {
+            self.state = ConnState::Done;
+            self.stats.closed_at.get_or_insert(ctx.now());
+            return;
+        }
+        match self.state {
+            ConnState::Closed | ConnState::Done => {}
+            ConnState::Listen => {
+                if hdr.flags.syn() && !hdr.flags.ack() {
+                    self.irs = hdr.seq;
+                    self.rcv_nxt = 0; // offsets start after the SYN
+                    self.peer_rwnd = hdr.window as u64;
+                    self.state = ConnState::SynRcvd;
+                    self.emit_syn(ctx, true);
+                    self.arm_rto(ctx);
+                }
+            }
+            ConnState::SynSent => {
+                if hdr.flags.syn() && hdr.flags.ack() {
+                    self.irs = hdr.seq;
+                    self.rcv_nxt = 0;
+                    self.peer_rwnd = hdr.window as u64;
+                    self.state = ConnState::Established;
+                    self.stats.established_at = Some(ctx.now());
+                    self.begin_limit_tracking(ctx.now());
+                    self.send_ack_now(ctx);
+                    self.disarm_rto();
+                    self.try_send(ctx);
+                }
+            }
+            ConnState::SynRcvd => {
+                if hdr.flags.ack() {
+                    self.state = ConnState::Established;
+                    self.stats.established_at = Some(ctx.now());
+                    self.begin_limit_tracking(ctx.now());
+                    self.peer_rwnd = hdr.window as u64;
+                    self.disarm_rto();
+                    // The ACK may carry data; fall through to data path.
+                    self.process_established(ctx, hdr);
+                    self.try_send(ctx);
+                }
+            }
+            ConnState::Established => {
+                self.process_established(ctx, hdr);
+            }
+        }
+        self.maybe_finish(ctx.now());
+    }
+
+    fn process_established(&mut self, ctx: &mut Ctx, hdr: &TcpHeader) {
+        if hdr.flags.syn() {
+            // A retransmitted SYN-ACK means our handshake ACK was lost:
+            // answer with a duplicate ACK (challenge ACK) so the peer
+            // can leave SYN-RCVD.
+            self.send_ack_now(ctx);
+            return;
+        }
+        if hdr.flags.ack() {
+            self.process_ack(ctx, hdr);
+        }
+        if hdr.payload_len > 0 || hdr.flags.fin() {
+            self.process_data(ctx, hdr);
+        }
+    }
+
+    // ---- sender-side ACK handling -------------------------------------
+
+    fn process_ack(&mut self, ctx: &mut Ctx, hdr: &TcpHeader) {
+        self.peer_rwnd = hdr.window as u64;
+        // Mark selectively acknowledged segments on the scoreboard.
+        let mut sack_advanced = false;
+        if self.cfg.sack {
+            for block in hdr.sack.iter().flatten() {
+                let start = offset_of(self.iss.wrapping_add(1), block.0, self.snd_una);
+                let end = offset_of(self.iss.wrapping_add(1), block.1, start);
+                if start < end {
+                    let mut newly = 0u64;
+                    for (_, meta) in self
+                        .segs
+                        .range_mut(start..end)
+                        .filter(|(&s, m)| s + m.seq_len as u64 <= end && !m.sacked)
+                    {
+                        meta.sacked = true;
+                        newly += meta.seq_len as u64;
+                    }
+                    self.sacked_bytes += newly;
+                    if newly > 0 {
+                        sack_advanced = true;
+                    }
+                    self.highest_sacked = self.highest_sacked.max(end);
+                }
+            }
+        }
+        // The peer's ack field acknowledges our sequence space: our wire
+        // seq for offset k is iss + 1 + k (the +1 is our SYN).
+        let ack_off = offset_of(self.iss.wrapping_add(1), hdr.ack, self.snd_una);
+        if ack_off > self.high_water + 1 {
+            return; // acks data we never sent; ignore
+        }
+        if ack_off > self.snd_una {
+            // An ack one past the application limit can only cover the
+            // FIN. Keyed on fin_queued (not fin_sent): after a
+            // go-back-N reset, fin_sent may be false while the peer
+            // already holds — and acknowledges — the earlier FIN.
+            let fin_end = self.app_limit.map(|l| l + 1);
+            let fin_extra = if self.fin_queued && Some(ack_off) == fin_end {
+                1
+            } else {
+                0
+            };
+            let bytes_acked = (ack_off - self.snd_una).saturating_sub(fin_extra);
+            self.stats.bytes_acked += bytes_acked;
+            let data_off = ack_off - fin_extra;
+            if fin_extra == 1 {
+                self.fin_acked = true;
+                self.fin_sent = true;
+            }
+
+            // Retire covered segments; pick up a Karn-valid RTT sample
+            // from the newest fully-acked, never-retransmitted segment.
+            let mut sample: Option<SimDuration> = None;
+            let covered: Vec<u64> = self
+                .segs
+                .range(..data_off.saturating_add(1))
+                .filter(|(&s, m)| s + m.seq_len as u64 <= ack_off)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in covered {
+                let meta = self.segs.remove(&s).expect("listed");
+                if meta.sacked {
+                    self.sacked_bytes -= meta.seq_len as u64;
+                }
+                if !meta.retx {
+                    sample = Some(ctx.now().saturating_since(meta.sent_at));
+                }
+            }
+            if let Some(rtt) = sample {
+                self.rtt.on_sample(rtt);
+                if self.cfg.record_samples {
+                    self.stats.rtt_samples.push((ctx.now(), rtt));
+                }
+            }
+            // snd_una lives in *data* offset space (excludes FIN's byte).
+            debug_assert!(
+                self.app_limit.is_none() || data_off <= self.app_limit.unwrap_or(u64::MAX),
+                "snd_una {} beyond app_limit {:?} (ack_off {}, fin q/s/a {}{}{})",
+                data_off, self.app_limit, ack_off,
+                self.fin_queued as u8, self.fin_sent as u8, self.fin_acked as u8
+            );
+            self.snd_una = data_off;
+            // After a go-back-N restart the cumulative ACK can jump past
+            // the rolled-back send point; never let snd_nxt trail it.
+            if self.snd_nxt < self.snd_una {
+                self.snd_nxt = self.snd_una;
+            }
+            self.dupacks = 0;
+            self.consec_timeouts = 0;
+
+            match self.recovery {
+                Some(recover) if ack_off >= recover => {
+                    // Full ACK: leave recovery.
+                    self.recovery = None;
+                    self.cc.on_recovery_exit();
+                    self.record_cwnd(ctx.now());
+                }
+                Some(_) => {
+                    // Partial ACK: repair continues.
+                    if self.cfg.sack {
+                        self.repair_holes(ctx);
+                    } else {
+                        self.cc.on_partial_ack(bytes_acked);
+                        self.retransmit_front(ctx, false);
+                    }
+                    self.record_cwnd(ctx.now());
+                }
+                None => {
+                    let info = AckInfo {
+                        now: ctx.now(),
+                        bytes_acked,
+                        rtt_sample: sample,
+                        srtt: self.rtt.srtt(),
+                        flight: self.flight(),
+                        in_recovery: false,
+                    };
+                    self.cc.on_ack(&info);
+                    self.record_cwnd(ctx.now());
+                }
+            }
+            // Restart the RTO for remaining data, or disarm.
+            if self.outstanding() {
+                self.arm_rto(ctx);
+            } else {
+                self.disarm_rto();
+            }
+            self.try_send(ctx);
+        } else if ack_off == self.snd_una && self.outstanding() && hdr.payload_len == 0 {
+            // Duplicate ACK. With SACK, only ACKs that carry *new* SACK
+            // information count towards DupThresh (RFC 6675 §4) —
+            // otherwise the bare re-ACKs a receiver emits for spurious
+            // go-back-N retransmissions would trigger bogus recoveries.
+            if self.cfg.sack && !sack_advanced {
+                return;
+            }
+            self.dupacks += 1;
+            match self.recovery {
+                Some(_) => {
+                    if self.cfg.sack {
+                        // RFC 6675-lite: no window inflation; repair
+                        // holes while the pipe has room, then let
+                        // try_send fill remaining room with new data.
+                        self.repair_holes(ctx);
+                    } else {
+                        self.cc.on_dupack_in_recovery();
+                    }
+                    self.try_send(ctx);
+                }
+                None if self.dupacks == 3 => {
+                    self.enter_fast_recovery(ctx);
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn enter_fast_recovery(&mut self, ctx: &mut Ctx) {
+        self.stats.fast_retransmits += 1;
+        self.recovery = Some(self.snd_nxt + if self.fin_sent { 1 } else { 0 });
+        let flight = self.flight();
+        self.cc.on_fast_retransmit(flight, ctx.now());
+        if self.cfg.sack {
+            // Pipe accounting replaces NewReno's +3·MSS inflation.
+            self.cc.on_recovery_exit(); // collapse cwnd to ssthresh
+        }
+        self.record_cwnd(ctx.now());
+        // The classic third-dupack retransmission of the front segment.
+        self.retransmit_front(ctx, true);
+        self.arm_rto(ctx);
+    }
+
+    // ---- receiver-side data handling -----------------------------------
+
+    fn process_data(&mut self, ctx: &mut Ctx, hdr: &TcpHeader) {
+        // The peer's wire seq for its offset k is irs + 1 + k.
+        let start = offset_of(self.irs.wrapping_add(1), hdr.seq, self.rcv_nxt);
+        let payload_end = start + hdr.payload_len as u64;
+        if hdr.flags.fin() {
+            self.peer_fin_offset = Some(payload_end);
+        }
+        let in_order = start <= self.rcv_nxt;
+        if payload_end > self.rcv_nxt {
+            if hdr.payload_len > 0 {
+                self.insert_ooo(start.max(self.rcv_nxt), payload_end);
+                self.drain_in_order();
+            }
+        }
+        // FIN consumes its own sequence position once payload is complete.
+        let fin_consumed = match self.peer_fin_offset {
+            Some(f) => self.rcv_nxt >= f,
+            None => false,
+        };
+        // ACK policy: immediate on out-of-order or FIN; delayed-ack
+        // coalescing otherwise when enabled.
+        if !in_order || hdr.flags.fin() || fin_consumed || !self.cfg.delayed_ack {
+            self.send_ack_now(ctx);
+        } else {
+            self.delack_count += 1;
+            if self.delack_count >= 2 {
+                self.send_ack_now(ctx);
+            } else if !self.delack_timer_armed {
+                self.delack_timer_armed = true;
+                ctx.set_timer(DELACK_FLUSH, self.token(DELACK_TOKEN));
+            }
+        }
+    }
+
+    fn insert_ooo(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Merge [start, end) into the out-of-order interval set.
+        let mut new_start = start;
+        let mut new_end = end;
+        let overlapping: Vec<u64> = self
+            .ooo
+            .range(..=end)
+            .filter(|(&_s, &e)| e >= start)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ooo.remove(&s).expect("listed");
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+        }
+        self.ooo.insert(new_start, new_end);
+    }
+
+    fn drain_in_order(&mut self) {
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s <= self.rcv_nxt {
+                self.ooo.pop_first();
+                if e > self.rcv_nxt {
+                    self.stats.bytes_received += e - self.rcv_nxt;
+                    self.rcv_nxt = e;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn send_ack_now(&mut self, ctx: &mut Ctx) {
+        self.delack_count = 0;
+        let fin_bump = match self.peer_fin_offset {
+            Some(f) if self.rcv_nxt >= f => 1u32,
+            _ => 0,
+        };
+        let mut sack = NO_SACK;
+        if self.cfg.sack {
+            for (i, (&s, &e)) in self.ooo.iter().take(3).enumerate() {
+                sack[i] = Some((
+                    wire_seq(self.irs.wrapping_add(1), s),
+                    wire_seq(self.irs.wrapping_add(1), e),
+                ));
+            }
+        }
+        let hdr = TcpHeader {
+            seq: wire_seq(self.iss.wrapping_add(1), self.snd_nxt),
+            ack: wire_seq(self.irs.wrapping_add(1), self.rcv_nxt).wrapping_add(fin_bump),
+            flags: TcpFlags::ACK,
+            payload_len: 0,
+            window: self.adv_window(),
+            sack,
+        };
+        ctx.send(PacketSpec::tcp(self.flow, self.peer, hdr));
+        // Receiving the peer's FIN triggers our own close once our data
+        // is out (the agents in this model never keep a half-open
+        // connection deliberately).
+        if fin_bump == 1 && !self.fin_queued {
+            self.close(ctx);
+        }
+    }
+
+    fn adv_window(&self) -> u32 {
+        // Static large window: the simulated apps always drain instantly.
+        self.cfg.recv_window
+    }
+
+    // ---- transmission ---------------------------------------------------
+
+    /// Data available but not yet transmitted.
+    fn untransmitted(&self) -> u64 {
+        let limit = self.app_limit.unwrap_or(u64::MAX);
+        limit.saturating_sub(self.snd_nxt)
+    }
+
+    fn flight(&self) -> u64 {
+        debug_assert!(self.snd_nxt >= self.snd_una);
+        self.snd_nxt.saturating_sub(self.snd_una)
+    }
+
+    /// RFC 6675 pipe: bytes believed to be in the network. SACKed bytes
+    /// are out; unsacked bytes below the highest SACK are presumed lost
+    /// (IsLost) and also out — unless they have been retransmitted, in
+    /// which case the retransmission is in flight.
+    fn pipe(&self) -> u64 {
+        let mut pipe = 0u64;
+        for (&off, meta) in &self.segs {
+            if meta.sacked {
+                continue;
+            }
+            if meta.retx || off >= self.highest_sacked {
+                pipe += meta.seq_len as u64;
+            }
+        }
+        pipe
+    }
+
+    /// Bytes counted against the window when deciding to transmit.
+    fn effective_flight(&self) -> u64 {
+        if self.cfg.sack && self.recovery.is_some() {
+            self.pipe()
+        } else {
+            self.flight()
+        }
+    }
+
+    fn outstanding(&self) -> bool {
+        !self.segs.is_empty()
+    }
+
+    /// Transmit as much as the congestion and receive windows allow.
+    fn try_send(&mut self, ctx: &mut Ctx) {
+        if self.state != ConnState::Established {
+            return;
+        }
+        let mut sent_any = false;
+        loop {
+            let wnd = self.cc.cwnd().min(self.peer_rwnd);
+            let in_flight = self.effective_flight();
+            let room = wnd.saturating_sub(in_flight);
+            let want = self.untransmitted();
+            if want == 0 {
+                // Possibly emit the FIN.
+                if self.fin_queued && !self.fin_sent {
+                    self.emit_fin(ctx);
+                    sent_any = true;
+                }
+                self.note_limit(SendLimit::App, ctx.now());
+                break;
+            }
+            if room == 0 {
+                let limit = if self.peer_rwnd < self.cc.cwnd() {
+                    SendLimit::Rwnd
+                } else {
+                    SendLimit::Cwnd
+                };
+                self.note_limit(limit, ctx.now());
+                break;
+            }
+            // Nagle-free: send a full or partial segment immediately.
+            let len = want.min(self.cfg.mss as u64).min(room.max(1)) as u32;
+            if (len as u64) < want && (room as u32) < len {
+                // Avoid silly small segments when cwnd has sub-MSS room.
+                self.note_limit(SendLimit::Cwnd, ctx.now());
+                break;
+            }
+            let offset = self.snd_nxt;
+            let is_rexmit = offset < self.high_water;
+            let fin_here = self.fin_queued && offset + len as u64 == self.app_limit.unwrap_or(u64::MAX);
+            let hdr = TcpHeader {
+                seq: wire_seq(self.iss.wrapping_add(1), offset),
+                ack: wire_seq(self.irs.wrapping_add(1), self.rcv_nxt),
+                flags: if fin_here {
+                    TcpFlags::ACK | TcpFlags::FIN
+                } else {
+                    TcpFlags::ACK
+                },
+                payload_len: len,
+                window: self.adv_window(),
+                sack: NO_SACK,
+            };
+            ctx.send(PacketSpec::tcp(self.flow, self.peer, hdr));
+            self.segs.insert(
+                offset,
+                SegMeta {
+                    payload: len,
+                    seq_len: len + if fin_here { 1 } else { 0 },
+                    fin: fin_here,
+                    sent_at: ctx.now(),
+                    retx: is_rexmit,
+                    sacked: false,
+                },
+            );
+            self.snd_nxt += len as u64;
+            if is_rexmit {
+                self.stats.retransmits += 1;
+                self.stats.first_retransmit_at.get_or_insert(ctx.now());
+                // A resend after go-back-N can straddle the old mark
+                // (boundaries shift when snd_una is not an original
+                // segment edge); the mark must still track the true
+                // maximum or later acks get rejected as invalid.
+                self.stats.bytes_sent += self.snd_nxt.saturating_sub(self.high_water);
+            } else {
+                self.stats.bytes_sent += len as u64;
+            }
+            self.high_water = self.high_water.max(self.snd_nxt);
+            self.stats.segments_sent += 1;
+            if fin_here {
+                self.fin_sent = true;
+            }
+            sent_any = true;
+        }
+        // RFC 6298: start the timer when data goes out and none is
+        // running; ACK processing restarts it separately.
+        if sent_any && !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn emit_fin(&mut self, ctx: &mut Ctx) {
+        let offset = self.snd_nxt;
+        let hdr = TcpHeader {
+            seq: wire_seq(self.iss.wrapping_add(1), offset),
+            ack: wire_seq(self.irs.wrapping_add(1), self.rcv_nxt),
+            flags: TcpFlags::ACK | TcpFlags::FIN,
+            payload_len: 0,
+            window: self.adv_window(),
+            sack: NO_SACK,
+        };
+        ctx.send(PacketSpec::tcp(self.flow, self.peer, hdr));
+        self.segs.insert(
+            offset,
+            SegMeta {
+                payload: 0,
+                seq_len: 1,
+                fin: true,
+                sent_at: ctx.now(),
+                retx: self.snd_nxt < self.high_water,
+                sacked: false,
+            },
+        );
+        self.fin_sent = true;
+        self.stats.segments_sent += 1;
+    }
+
+    /// Repair presumed-lost holes while the pipe has room (SACK mode).
+    fn repair_holes(&mut self, ctx: &mut Ctx) {
+        let cwnd = self.cc.cwnd();
+        let mss = self.cfg.mss as u64;
+        while self.pipe() + mss <= cwnd {
+            if !self.retransmit_front(ctx, false) {
+                break;
+            }
+        }
+    }
+
+    /// Retransmit the earliest outstanding segment that the peer has
+    /// not selectively acknowledged and that this recovery has not
+    /// already retransmitted (the RFC 6675-style "next hole"). Returns
+    /// whether a segment was sent.
+    fn retransmit_front(&mut self, ctx: &mut Ctx, timeout: bool) -> bool {
+        let highest = self.highest_sacked;
+        let blind_ok = !self.cfg.sack; // NewReno has no loss inference
+        let (&offset, meta) = match self
+            .segs
+            .iter_mut()
+            .find(|(&s, m)| !m.sacked && (timeout || (!m.retx && (blind_ok || s < highest))))
+        {
+            Some(kv) => kv,
+            None => return false,
+        };
+        meta.retx = true;
+        meta.sent_at = ctx.now();
+        let payload = meta.payload;
+        let fin = meta.fin;
+        let hdr = TcpHeader {
+            seq: wire_seq(self.iss.wrapping_add(1), offset),
+            ack: wire_seq(self.irs.wrapping_add(1), self.rcv_nxt),
+            flags: if fin {
+                TcpFlags::ACK | TcpFlags::FIN
+            } else {
+                TcpFlags::ACK
+            },
+            payload_len: payload,
+            window: self.adv_window(),
+            sack: NO_SACK,
+        };
+        ctx.send(PacketSpec::tcp(self.flow, self.peer, hdr));
+        self.stats.segments_sent += 1;
+        self.stats.retransmits += 1;
+        self.stats.first_retransmit_at.get_or_insert(ctx.now());
+        true
+    }
+
+    // ---- timers ----------------------------------------------------------
+
+    /// Tag a connection-local token with this connection's flow id.
+    fn token(&self, local: u64) -> TimerToken {
+        ((self.flow.0 as u64) << 32) | (local & 0xFFFF_FFFF)
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        let local = self.rto_gen & 0x7FFF_FFFF; // keep clear of DELACK bit
+        ctx.set_timer(self.rtt.rto(), self.token(local));
+    }
+
+    fn disarm_rto(&mut self) {
+        self.rto_armed = false;
+    }
+
+    /// Handle a timer token previously passed to `ctx.set_timer` by this
+    /// connection.
+    pub fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
+        let local = token & 0xFFFF_FFFF;
+        if local == DELACK_TOKEN {
+            self.delack_timer_armed = false;
+            if self.delack_count > 0 && self.state == ConnState::Established {
+                self.send_ack_now(ctx);
+            }
+            return;
+        }
+        if !self.rto_armed || local != self.rto_gen & 0x7FFF_FFFF {
+            return; // stale generation
+        }
+        match self.state {
+            ConnState::SynSent => {
+                self.consec_timeouts += 1;
+                if self.consec_timeouts > self.cfg.max_consecutive_timeouts {
+                    self.state = ConnState::Done;
+                    self.stats.closed_at.get_or_insert(ctx.now());
+                    return;
+                }
+                self.rtt.on_timeout();
+                self.emit_syn(ctx, false);
+                self.arm_rto(ctx);
+            }
+            ConnState::SynRcvd => {
+                self.consec_timeouts += 1;
+                if self.consec_timeouts > self.cfg.max_consecutive_timeouts {
+                    self.state = ConnState::Done;
+                    self.stats.closed_at.get_or_insert(ctx.now());
+                    return;
+                }
+                self.rtt.on_timeout();
+                self.emit_syn(ctx, true);
+                self.arm_rto(ctx);
+            }
+            ConnState::Established => {
+                if !self.outstanding() {
+                    self.disarm_rto();
+                    return;
+                }
+                self.stats.timeouts += 1;
+                self.consec_timeouts += 1;
+                if self.consec_timeouts > self.cfg.max_consecutive_timeouts {
+                    // Give up, like a real stack exhausting tcp_retries2.
+                    self.state = ConnState::Done;
+                    self.stats.closed_at.get_or_insert(ctx.now());
+                    return;
+                }
+                let flight = self.flight();
+                self.cc.on_retransmission_timeout(flight, ctx.now());
+                self.record_cwnd(ctx.now());
+                self.rtt.on_timeout();
+                self.recovery = None;
+                self.dupacks = 0;
+                // Go-back-N: roll the send point back to the loss and
+                // resend in order under the collapsed window; segments
+                // the receiver already holds are re-acked instantly.
+                self.snd_nxt = self.snd_una;
+                self.segs.clear();
+                self.sacked_bytes = 0;
+                self.highest_sacked = self.snd_una;
+                if self.fin_sent && !self.fin_acked {
+                    self.fin_sent = false;
+                }
+                self.try_send(ctx);
+                self.arm_rto(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    // ---- bookkeeping ------------------------------------------------------
+
+    fn record_cwnd(&mut self, now: SimTime) {
+        if self.cfg.record_samples {
+            self.stats.cwnd_samples.push((now, self.cc.cwnd()));
+        }
+    }
+
+    fn begin_limit_tracking(&mut self, now: SimTime) {
+        self.last_limit = Some((SendLimit::App, now));
+    }
+
+    fn note_limit(&mut self, limit: SendLimit, now: SimTime) {
+        if let Some((prev, since)) = self.last_limit {
+            let idx = match prev {
+                SendLimit::Cwnd => 0,
+                SendLimit::Rwnd => 1,
+                SendLimit::App => 2,
+            };
+            self.stats.limited[idx] += now.saturating_since(since);
+        }
+        self.last_limit = Some((limit, now));
+    }
+
+    fn maybe_finish(&mut self, now: SimTime) {
+        if self.state == ConnState::Established
+            && self.fin_acked
+            && self.peer_closed()
+            && self.send_complete()
+        {
+            self.state = ConnState::Done;
+            self.note_limit(SendLimit::App, now);
+            self.stats.closed_at = Some(now);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! RTT estimation and retransmission-timeout computation (RFC 6298).
+//!
+//! Mirrors the Linux-style estimator the paper's testbed ran: SRTT and
+//! RTTVAR exponentially-weighted means with `RTO = SRTT + 4·RTTVAR`,
+//! a configurable floor (Linux uses 200 ms), a 60 s ceiling, and
+//! exponential backoff on timeout. Karn's rule (never sample a
+//! retransmitted segment) is enforced by the caller.
+
+use csig_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// RFC 6298 smoothing parameters.
+const ALPHA: f64 = 1.0 / 8.0;
+const BETA: f64 = 1.0 / 4.0;
+
+/// RTT estimator state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    /// Smallest raw sample ever observed (the flow's propagation floor).
+    min_rtt: Option<SimDuration>,
+    /// Latest raw sample.
+    last_rtt: Option<SimDuration>,
+    samples: u64,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(60))
+    }
+}
+
+impl RttEstimator {
+    /// Estimator with the given RTO floor and ceiling; initial RTO is
+    /// 1 s per RFC 6298.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: SimDuration::from_secs(1),
+            backoff: 0,
+            min_rto,
+            max_rto,
+            min_rtt: None,
+            last_rtt: None,
+            samples: 0,
+        }
+    }
+
+    /// Feed one RTT sample (from a never-retransmitted segment).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.samples += 1;
+        self.last_rtt = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if rtt >= srtt { rtt - srtt } else { srtt - rtt };
+                self.rttvar = SimDuration::from_nanos(
+                    ((1.0 - BETA) * self.rttvar.as_nanos() as f64 + BETA * err.as_nanos() as f64)
+                        .round() as u64,
+                );
+                self.srtt = Some(SimDuration::from_nanos(
+                    ((1.0 - ALPHA) * srtt.as_nanos() as f64 + ALPHA * rtt.as_nanos() as f64).round()
+                        as u64,
+                ));
+            }
+        }
+        self.backoff = 0;
+        let srtt = self.srtt.expect("set above");
+        let granularity = SimDuration::from_millis(1);
+        self.rto = (srtt + (self.rttvar * 4).max(granularity)).clamp(self.min_rto, self.max_rto);
+    }
+
+    /// Double the RTO after a retransmission timeout (Karn backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+        self.rto = self.rto.saturating_mul(2).min(self.max_rto);
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Smoothed RTT (`None` before the first sample).
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// Minimum raw sample seen.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Most recent raw sample.
+    pub fn last_rtt(&self) -> Option<SimDuration> {
+        self.last_rtt
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.on_sample(ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        assert_eq!(e.rttvar(), ms(50));
+        // RTO = 100 + 4×50 = 300 ms.
+        assert_eq!(e.rto(), ms(300));
+        assert_eq!(e.min_rtt(), Some(ms(100)));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn converges_on_stable_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.on_sample(ms(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 50.0).abs() < 0.5);
+        // Variance decays; RTO approaches the floor.
+        assert_eq!(e.rto(), ms(200));
+    }
+
+    #[test]
+    fn rto_floor_and_ceiling() {
+        let mut e = RttEstimator::new(ms(200), SimDuration::from_secs(2));
+        e.on_sample(ms(1)); // tiny RTT → raw RTO ~3 ms, floored at 200.
+        assert_eq!(e.rto(), ms(200));
+        for _ in 0..10 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn timeout_backoff_doubles() {
+        let mut e = RttEstimator::default();
+        e.on_sample(ms(100));
+        let r0 = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), r0 * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), r0 * 4);
+        // A fresh sample resets the backoff.
+        e.on_sample(ms(100));
+        assert!(e.rto() <= r0 * 2);
+    }
+
+    #[test]
+    fn min_rtt_tracks_floor() {
+        let mut e = RttEstimator::default();
+        e.on_sample(ms(80));
+        e.on_sample(ms(20));
+        e.on_sample(ms(120));
+        assert_eq!(e.min_rtt(), Some(ms(20)));
+        assert_eq!(e.last_rtt(), Some(ms(120)));
+    }
+
+    #[test]
+    fn variance_rises_on_jittery_path() {
+        let mut stable = RttEstimator::default();
+        let mut jittery = RttEstimator::default();
+        for i in 0..50 {
+            stable.on_sample(ms(50));
+            jittery.on_sample(ms(if i % 2 == 0 { 20 } else { 80 }));
+        }
+        assert!(jittery.rttvar() > stable.rttvar());
+        assert!(jittery.rto() >= stable.rto());
+    }
+}

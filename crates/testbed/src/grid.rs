@@ -1,0 +1,170 @@
+//! The paper's parameter grid (§3.1) and sweep runner.
+
+use crate::config::{AccessParams, TestbedConfig};
+use crate::runner::{run_test, TestResult};
+use csig_netsim::rng::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// The §3.1 access-link grid: rate {10, 20, 50} Mbps × loss
+/// {0.02, 0.05} % × latency {20, 40} ms × buffer {20, 50, 100} ms.
+pub fn paper_grid() -> Vec<AccessParams> {
+    let mut grid = Vec::new();
+    for &rate_mbps in &[10u64, 20, 50] {
+        for &loss_pct in &[0.02f64, 0.05] {
+            for &latency_ms in &[20u64, 40] {
+                for &buffer_ms in &[20u64, 50, 100] {
+                    grid.push(AccessParams {
+                        rate_mbps,
+                        loss_pct,
+                        latency_ms,
+                        buffer_ms,
+                    });
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// A compact grid (one loss/latency point) for quick runs and tests.
+pub fn small_grid() -> Vec<AccessParams> {
+    let mut grid = Vec::new();
+    for &rate_mbps in &[10u64, 20, 50] {
+        for &buffer_ms in &[20u64, 50, 100] {
+            grid.push(AccessParams {
+                rate_mbps,
+                loss_pct: 0.02,
+                latency_ms: 20,
+                buffer_ms,
+            });
+        }
+    }
+    grid
+}
+
+/// Fidelity of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Full paper settings (expensive).
+    Paper,
+    /// Scaled settings (default; see `TestbedConfig::scaled`).
+    Scaled,
+}
+
+impl Profile {
+    fn config(&self, access: AccessParams, seed: u64) -> TestbedConfig {
+        match self {
+            Profile::Paper => TestbedConfig::paper(access, seed),
+            Profile::Scaled => TestbedConfig::scaled(access, seed),
+        }
+    }
+}
+
+/// Sweep specification.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Access-link grid points.
+    pub grid: Vec<AccessParams>,
+    /// Repetitions per grid point per scenario (paper: 50).
+    pub reps: u32,
+    /// Fidelity profile.
+    pub profile: Profile,
+    /// Base seed; every test derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Sweep {
+    /// The default scaled sweep over the full paper grid.
+    pub fn scaled(reps: u32, seed: u64) -> Self {
+        Sweep {
+            grid: paper_grid(),
+            reps,
+            profile: Profile::Scaled,
+            seed,
+        }
+    }
+
+    /// Total number of tests this sweep runs (both scenarios).
+    pub fn total_tests(&self) -> usize {
+        self.grid.len() * self.reps as usize * 2
+    }
+
+    /// Run every grid point `reps` times in both scenarios. Calls
+    /// `progress(done, total)` after each test.
+    pub fn run<F: FnMut(usize, usize)>(&self, mut progress: F) -> Vec<TestResult> {
+        let total = self.total_tests();
+        let mut results = Vec::with_capacity(total);
+        let mut tag = 0u64;
+        for access in &self.grid {
+            for rep in 0..self.reps {
+                for external in [false, true] {
+                    tag += 1;
+                    let seed = derive_seed(self.seed, tag);
+                    let mut cfg = self.profile.config(*access, seed);
+                    if external {
+                        cfg = cfg.externally_congested();
+                    }
+                    let _ = rep;
+                    results.push(run_test(&cfg));
+                    progress(results.len(), total);
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_36_points() {
+        let g = paper_grid();
+        assert_eq!(g.len(), 36);
+        // All distinct.
+        let set: std::collections::HashSet<String> =
+            g.iter().map(|a| format!("{a:?}")).collect();
+        assert_eq!(set.len(), 36);
+    }
+
+    #[test]
+    fn small_grid_subset_of_paper_grid_values() {
+        let g = small_grid();
+        assert_eq!(g.len(), 9);
+        for a in g {
+            assert!([10, 20, 50].contains(&a.rate_mbps));
+            assert!([20, 50, 100].contains(&a.buffer_ms));
+        }
+    }
+
+    #[test]
+    fn sweep_counts() {
+        let s = Sweep {
+            grid: small_grid(),
+            reps: 3,
+            profile: Profile::Scaled,
+            seed: 1,
+        };
+        assert_eq!(s.total_tests(), 54);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_balanced_scenarios() {
+        let s = Sweep {
+            grid: vec![AccessParams::figure1()],
+            reps: 2,
+            profile: Profile::Scaled,
+            seed: 9,
+        };
+        let mut calls = 0;
+        let results = s.run(|_, _| calls += 1);
+        assert_eq!(results.len(), 4);
+        assert_eq!(calls, 4);
+        let self_count = results
+            .iter()
+            .filter(|r| r.intended == csig_features::CongestionClass::SelfInduced)
+            .count();
+        assert_eq!(self_count, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Congestion-threshold labeling of testbed results (§3.1, "Labeling
+//! the test data").
+//!
+//! A test from a self-induced run is labeled **self-induced** only if
+//! its slow-start throughput exceeded `threshold × access capacity`;
+//! a test from an externally congested run is labeled **external** only
+//! if it stayed below the threshold. Tests contradicting their scenario
+//! (a small fraction, caused by transient effects) are filtered out —
+//! exactly the paper's procedure.
+
+use crate::runner::TestResult;
+use csig_dtree::Dataset;
+use csig_features::CongestionClass;
+
+/// Label one test under the given congestion threshold; `None` means
+/// the test is filtered out (scenario/threshold disagreement, or no
+/// valid features).
+pub fn label_with_threshold(result: &TestResult, threshold: f64) -> Option<CongestionClass> {
+    assert!((0.0..=1.0).contains(&threshold), "threshold out of range");
+    if result.features.is_err() {
+        return None;
+    }
+    let util = result.ss_utilization();
+    match result.intended {
+        CongestionClass::SelfInduced if util >= threshold => Some(CongestionClass::SelfInduced),
+        CongestionClass::External if util < threshold => Some(CongestionClass::External),
+        _ => None,
+    }
+}
+
+/// Assemble a decision-tree dataset from labeled results. Returns the
+/// dataset and how many results were filtered out.
+pub fn build_dataset(results: &[TestResult], threshold: f64) -> (Dataset, usize) {
+    let mut data = Dataset::new();
+    let mut filtered = 0;
+    for r in results {
+        match (label_with_threshold(r, threshold), &r.features) {
+            (Some(class), Ok(f)) => data.push(f.as_vector().to_vec(), class.index()),
+            _ => filtered += 1,
+        }
+    }
+    (data, filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csig_features::FlowFeatures;
+    use csig_netsim::SimDuration;
+    use csig_trace::{SlowStart, ThroughputSummary};
+
+    fn result(intended: CongestionClass, util: f64) -> TestResult {
+        TestResult {
+            features: Ok(FlowFeatures {
+                norm_diff: 0.5,
+                cov: 0.2,
+                samples: 20,
+                min_rtt_ms: 20.0,
+                max_rtt_ms: 40.0,
+            }),
+            slow_start: SlowStart {
+                first_data_at: None,
+                end: None,
+                bytes_acked: 0,
+            },
+            throughput: ThroughputSummary {
+                bytes_acked: 0,
+                active: SimDuration::ZERO,
+                mean_bps: 0.0,
+            },
+            ss_throughput_bps: util * 20e6,
+            intended,
+            access_rate_bps: 20_000_000,
+            interconnect_max_occupancy: 0.0,
+            events: 0,
+            seed: 0,
+            conn_stats: None,
+        }
+    }
+
+    #[test]
+    fn consistent_tests_get_labeled() {
+        let r = result(CongestionClass::SelfInduced, 0.95);
+        assert_eq!(
+            label_with_threshold(&r, 0.8),
+            Some(CongestionClass::SelfInduced)
+        );
+        let r = result(CongestionClass::External, 0.3);
+        assert_eq!(label_with_threshold(&r, 0.8), Some(CongestionClass::External));
+    }
+
+    #[test]
+    fn contradicting_tests_are_filtered() {
+        // Self-induced run that failed to reach the threshold.
+        let r = result(CongestionClass::SelfInduced, 0.5);
+        assert_eq!(label_with_threshold(&r, 0.8), None);
+        // External run that reached access capacity anyway.
+        let r = result(CongestionClass::External, 0.95);
+        assert_eq!(label_with_threshold(&r, 0.8), None);
+    }
+
+    #[test]
+    fn featureless_tests_are_filtered() {
+        let mut r = result(CongestionClass::SelfInduced, 0.95);
+        r.features = Err(csig_features::FeatureError::TooFewSamples { got: 2 });
+        assert_eq!(label_with_threshold(&r, 0.8), None);
+    }
+
+    #[test]
+    fn dataset_assembly_counts_filtered() {
+        let results = vec![
+            result(CongestionClass::SelfInduced, 0.95),
+            result(CongestionClass::External, 0.3),
+            result(CongestionClass::SelfInduced, 0.4), // filtered
+        ];
+        let (data, filtered) = build_dataset(&results, 0.8);
+        assert_eq!(data.len(), 2);
+        assert_eq!(filtered, 1);
+        assert_eq!(data.labels, vec![0, 1]);
+        assert_eq!(data.dim(), 2);
+    }
+
+    #[test]
+    fn threshold_sensitivity() {
+        let r = result(CongestionClass::SelfInduced, 0.75);
+        assert!(label_with_threshold(&r, 0.7).is_some());
+        assert!(label_with_threshold(&r, 0.8).is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # csig-testbed — the paper's controlled-experiment harness
+//!
+//! Recreates §3 of the paper on the simulator: the Figure-2 topology
+//! ([`topology`]), the `TGtrans`/`TGcong` cross-traffic generators and
+//! CBR substitute ([`agents`]), netperf-style throughput tests with
+//! trace analysis ([`runner`]), congestion-threshold labeling
+//! ([`labeling`]) and the §3.1 parameter-grid sweep ([`grid`]).
+//!
+//! Two fidelity profiles exist: `TestbedConfig::paper` uses the paper's
+//! exact settings (950 Mbps interconnect, 100 TGcong flows, 10 s tests)
+//! and `TestbedConfig::scaled` a one-fifth-rate version that preserves
+//! every buffer-delay ratio — the classifier features are dimensionless
+//! so results carry over (validated by the tests in this crate).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agents;
+pub mod config;
+pub mod grid;
+pub mod labeling;
+pub mod runner;
+pub mod topology;
+
+pub use agents::{CbrAgent, MultiClientAgent};
+pub use config::{AccessParams, CongestionMode, TestbedConfig};
+pub use grid::{paper_grid, small_grid, Profile, Sweep};
+pub use labeling::{build_dataset, label_with_threshold};
+pub use runner::{run_test, TestResult};
+pub use topology::{build, Testbed, TEST_FLOW};

@@ -1,0 +1,167 @@
+//! Run one netperf-style throughput test and analyze its trace.
+
+use crate::config::TestbedConfig;
+use crate::topology::{build, TEST_FLOW};
+use csig_features::{features_from_samples, CongestionClass, FeatureError, FlowFeatures};
+use csig_netsim::SimDuration;
+use csig_tcp::{ConnStats, TcpServerAgent};
+use csig_trace::{
+    capacity_estimate_bps, detect_slow_start, extract_rtt_samples, split_flows,
+    throughput_summary, FlowTrace, SlowStart, ThroughputSummary,
+};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured from one throughput test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The classifier features (or why they could not be computed).
+    pub features: Result<FlowFeatures, FeatureError>,
+    /// Slow-start window of the test flow.
+    pub slow_start: SlowStart,
+    /// Whole-test goodput summary.
+    pub throughput: ThroughputSummary,
+    /// Goodput achieved during slow start, in bits/s; falls back to the
+    /// whole-test mean if the flow never retransmitted.
+    pub ss_throughput_bps: f64,
+    /// Ground truth: what the scenario constructed.
+    pub intended: CongestionClass,
+    /// Access-link capacity the test ran against, bits/s.
+    pub access_rate_bps: u64,
+    /// Fraction of interconnect buffer occupied at its high-water mark.
+    pub interconnect_max_occupancy: f64,
+    /// Number of simulation events processed (cost diagnostic).
+    pub events: u64,
+    /// The seed the test ran with.
+    pub seed: u64,
+    /// Web100-style kernel statistics of the test flow at the server
+    /// (per-ACK RTT samples, limited-state accounting) — the input for
+    /// capture-free classification.
+    pub conn_stats: Option<ConnStats>,
+}
+
+impl TestResult {
+    /// Slow-start throughput as a fraction of access capacity — the
+    /// quantity the paper thresholds for labeling.
+    pub fn ss_utilization(&self) -> f64 {
+        self.ss_throughput_bps / self.access_rate_bps as f64
+    }
+}
+
+/// Slow-start capacity estimate with a fallback to the whole-test mean
+/// for flows that never retransmitted.
+fn slow_start_capacity_estimate(
+    trace: &FlowTrace,
+    ss: &SlowStart,
+    whole: &ThroughputSummary,
+) -> f64 {
+    capacity_estimate_bps(trace, ss).unwrap_or(whole.mean_bps)
+}
+
+/// Build the testbed for `cfg`, run it to the test end plus a drain
+/// tail, and analyze the test flow's capture.
+pub fn run_test(cfg: &TestbedConfig) -> TestResult {
+    let mut tb = build(cfg);
+    let horizon = tb.test_end + SimDuration::from_millis(500);
+    tb.sim.run_until(horizon);
+
+    // Kernel-side view of the test flow, read off the server agent.
+    let conn_stats = tb
+        .sim
+        .agent::<TcpServerAgent>(tb.server1)
+        .and_then(|s| s.connection(TEST_FLOW).map(|c| c.stats.clone()));
+
+    let capture = tb.sim.take_capture(tb.capture);
+    let flows = split_flows(&capture);
+    let trace = flows.get(&TEST_FLOW).cloned().unwrap_or(csig_trace::FlowTrace {
+        flow: TEST_FLOW,
+        records: Vec::new(),
+    });
+
+    let samples = extract_rtt_samples(&trace);
+    let slow_start = detect_slow_start(&trace);
+    let throughput = throughput_summary(&trace);
+    let features = features_from_samples(&samples, &slow_start);
+    let ss_throughput_bps = slow_start_capacity_estimate(&trace, &slow_start, &throughput);
+
+    let icl = tb.sim.link(tb.interconnect_down);
+    let interconnect_max_occupancy =
+        icl.max_occupancy() as f64 / icl.buffer_capacity() as f64;
+
+    TestResult {
+        features,
+        slow_start,
+        throughput,
+        ss_throughput_bps,
+        intended: cfg.intended_class(),
+        access_rate_bps: cfg.access.rate_bps(),
+        interconnect_max_occupancy,
+        events: tb.sim.events_processed(),
+        seed: cfg.seed,
+        conn_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccessParams, CongestionMode};
+
+    #[test]
+    fn self_induced_test_saturates_access_and_shows_signature() {
+        let cfg = TestbedConfig::scaled(AccessParams::figure1(), 101);
+        let r = run_test(&cfg);
+        assert_eq!(r.intended, CongestionClass::SelfInduced);
+        // The test flow should reach most of the 20 Mbps access rate.
+        assert!(
+            r.throughput.mean_bps > 0.7 * 20e6,
+            "mean {} bps",
+            r.throughput.mean_bps
+        );
+        let f = r.features.expect("features");
+        // Large buffer (100 ms) filled by the flow: high NormDiff.
+        assert!(f.norm_diff > 0.5, "norm_diff {}", f.norm_diff);
+        assert!(f.cov > 0.1, "cov {}", f.cov);
+        // Slow start throughput also indicates access capacity.
+        assert!(r.ss_utilization() > 0.5, "ss util {}", r.ss_utilization());
+    }
+
+    #[test]
+    fn externally_congested_test_is_limited_below_access() {
+        let cfg = TestbedConfig::scaled(AccessParams::figure1(), 102).externally_congested();
+        let r = run_test(&cfg);
+        assert_eq!(r.intended, CongestionClass::External);
+        // Interconnect buffer was driven to (near) capacity.
+        assert!(
+            r.interconnect_max_occupancy > 0.9,
+            "interconnect occupancy {}",
+            r.interconnect_max_occupancy
+        );
+        // The flow cannot reach the access rate.
+        assert!(
+            r.throughput.mean_bps < 0.8 * 20e6,
+            "mean {} bps",
+            r.throughput.mean_bps
+        );
+        let f = r.features.expect("features");
+        // Already-full interconnect buffer: lower NormDiff than the
+        // self-induced case.
+        assert!(f.norm_diff < 0.6, "norm_diff {}", f.norm_diff);
+    }
+
+    #[test]
+    fn cbr_congestion_mode_also_limits_the_flow() {
+        let cfg = TestbedConfig::scaled(AccessParams::figure1(), 103)
+            .with_congestion(CongestionMode::Cbr { utilization: 1.05 });
+        let r = run_test(&cfg);
+        assert!(
+            r.interconnect_max_occupancy > 0.9,
+            "occupancy {}",
+            r.interconnect_max_occupancy
+        );
+        assert!(
+            r.throughput.mean_bps < 0.8 * 20e6,
+            "mean {} bps",
+            r.throughput.mean_bps
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! Trace-based flow-RTT extraction — the `tshark` step of the paper's
+//! pipeline.
+//!
+//! From a server-side capture, each downstream data segment is matched
+//! with the first cumulative ACK that covers it; the time difference is
+//! one flow-RTT sample. Karn's rule is applied: once any part of a
+//! sequence range is retransmitted, samples for that range are
+//! discarded (the ACK can't be attributed to a specific transmission).
+
+use crate::flow::{FlowTrace, OffsetTracker};
+use csig_netsim::{Direction, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One RTT sample extracted from the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RttSample {
+    /// Arrival time of the acknowledging packet.
+    pub at: SimTime,
+    /// Measured round-trip time.
+    pub rtt: SimDuration,
+    /// Stream offset (exclusive end) of the acknowledged segment.
+    pub seq_end: u64,
+}
+
+/// An outstanding data segment awaiting acknowledgment.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    start: u64,
+    end: u64,
+    sent_at: SimTime,
+    tainted: bool,
+}
+
+/// Extract downstream flow-RTT samples from a (server-side) flow trace.
+///
+/// Only `Out` data segments and `In` pure/cumulative ACKs are
+/// consulted. Returns samples in ACK-arrival order. If the capture
+/// missed the SYN, the first outgoing data packet's sequence number is
+/// used as the offset base instead.
+pub fn extract_rtt_samples(trace: &FlowTrace) -> Vec<RttSample> {
+    let isn = trace.isn();
+    let mut out_tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
+    let mut outstanding: Vec<Outstanding> = Vec::new();
+    let mut samples = Vec::new();
+    let mut max_sent_end: u64 = 0;
+
+    for rec in &trace.records {
+        let Some(h) = rec.pkt.tcp() else { continue };
+        match rec.dir {
+            Direction::Out => {
+                if h.payload_len == 0 {
+                    continue;
+                }
+                let tracker = out_tracker.get_or_insert_with(|| {
+                    // No SYN seen: anchor offsets at this first data seq.
+                    OffsetTracker::new(h.seq.wrapping_sub(1))
+                });
+                let start = tracker.offset(h.seq);
+                let end = start + h.payload_len as u64;
+                if start < max_sent_end {
+                    // Retransmission: taint every overlapping outstanding
+                    // range (Karn) and do not add a fresh entry — the
+                    // eventual ACK cannot be attributed.
+                    for o in outstanding.iter_mut() {
+                        if o.start < end && o.end > start {
+                            o.tainted = true;
+                        }
+                    }
+                } else {
+                    outstanding.push(Outstanding {
+                        start,
+                        end,
+                        sent_at: rec.time,
+                        tainted: false,
+                    });
+                    max_sent_end = end;
+                }
+            }
+            Direction::In => {
+                if !h.flags.ack() {
+                    continue;
+                }
+                // Anchor ack numbers in the same offset space as the
+                // data (the SYN's ISS, or the first-data fallback).
+                let Some(tr) = out_tracker.as_ref() else {
+                    continue; // no data seen yet
+                };
+                let ack_off =
+                    csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, max_sent_end);
+                // Retire all fully covered segments; the newest clean one
+                // yields the sample for this ACK.
+                let mut best: Option<Outstanding> = None;
+                outstanding.retain(|o| {
+                    if o.end <= ack_off {
+                        if !o.tainted {
+                            match best {
+                                Some(b) if b.end >= o.end => {}
+                                _ => best = Some(*o),
+                            }
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if let Some(o) = best {
+                    samples.push(RttSample {
+                        at: rec.time,
+                        rtt: rec.time.saturating_since(o.sent_at),
+                        seq_end: o.end,
+                    });
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// Highest cumulative acknowledgment offset observed in the trace up to
+/// (and including) `until`, i.e. payload bytes delivered by then.
+pub fn bytes_acked_by(trace: &FlowTrace, until: SimTime) -> u64 {
+    let isn = trace.isn();
+    let Some(local_iss) = isn.local_iss else {
+        return 0;
+    };
+    let mut max_ack = 0u64;
+    let mut out_tracker = OffsetTracker::new(local_iss);
+    let mut fin_cap: Option<u64> = None;
+    for rec in &trace.records {
+        if rec.time > until {
+            break;
+        }
+        let Some(h) = rec.pkt.tcp() else { continue };
+        match rec.dir {
+            Direction::Out => {
+                if h.flags.fin() {
+                    let start = out_tracker.offset(h.seq);
+                    fin_cap = Some(start + h.payload_len as u64);
+                } else if h.payload_len > 0 {
+                    let _ = out_tracker.offset(h.seq);
+                }
+            }
+            Direction::In => {
+                if !h.flags.ack() {
+                    continue;
+                }
+                let mut off =
+                    csig_tcp::seq::offset_of(local_iss.wrapping_add(1), h.ack, max_ack);
+                if let Some(cap) = fin_cap {
+                    off = off.min(cap);
+                }
+                if off > max_ack {
+                    max_ack = off;
+                }
+            }
+        }
+    }
+    max_ack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowTrace;
+    use csig_netsim::{
+        FlowId, NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK,
+    };
+
+    const ISS: u32 = 5000;
+    const RISS: u32 = 9000;
+
+    fn tcp_rec(dir: Direction, t_us: u64, seq: u32, ack: u32, len: u32, flags: TcpFlags) -> csig_netsim::PacketRecord {
+        csig_netsim::PacketRecord {
+            time: SimTime::from_micros(t_us),
+            dir,
+            pkt: Packet {
+                id: PacketId(0),
+                flow: FlowId(7),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 52 + len,
+                sent_at: SimTime::from_micros(t_us),
+                kind: PacketKind::Tcp(TcpHeader {
+                    seq,
+                    ack,
+                    flags,
+                    payload_len: len,
+                    window: 65535,
+                    sack: NO_SACK,
+                }),
+            },
+        }
+    }
+
+    fn handshake() -> Vec<csig_netsim::PacketRecord> {
+        vec![
+            tcp_rec(Direction::In, 0, RISS, 0, 0, TcpFlags::SYN),
+            tcp_rec(Direction::Out, 10, ISS, RISS.wrapping_add(1), 0, TcpFlags::SYN | TcpFlags::ACK),
+            tcp_rec(Direction::In, 20, RISS.wrapping_add(1), ISS.wrapping_add(1), 0, TcpFlags::ACK),
+        ]
+    }
+
+    fn data(t_us: u64, off: u32, len: u32) -> csig_netsim::PacketRecord {
+        tcp_rec(
+            Direction::Out,
+            t_us,
+            ISS.wrapping_add(1).wrapping_add(off),
+            RISS.wrapping_add(1),
+            len,
+            TcpFlags::ACK,
+        )
+    }
+
+    fn ack(t_us: u64, ack_off: u32) -> csig_netsim::PacketRecord {
+        tcp_rec(
+            Direction::In,
+            t_us,
+            RISS.wrapping_add(1),
+            ISS.wrapping_add(1).wrapping_add(ack_off),
+            0,
+            TcpFlags::ACK,
+        )
+    }
+
+    fn trace(records: Vec<csig_netsim::PacketRecord>) -> FlowTrace {
+        FlowTrace {
+            flow: FlowId(7),
+            records,
+        }
+    }
+
+    #[test]
+    fn simple_segment_ack_pairing() {
+        let mut recs = handshake();
+        recs.push(data(1_000, 0, 1000));
+        recs.push(ack(41_000, 1000)); // 40 ms later
+        recs.push(data(42_000, 1000, 1000));
+        recs.push(ack(92_000, 2000)); // 50 ms later
+        let samples = extract_rtt_samples(&trace(recs));
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].rtt, SimDuration::from_millis(40));
+        assert_eq!(samples[0].seq_end, 1000);
+        assert_eq!(samples[1].rtt, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn cumulative_ack_yields_one_sample_from_newest_segment() {
+        let mut recs = handshake();
+        recs.push(data(1_000, 0, 1000));
+        recs.push(data(2_000, 1000, 1000));
+        recs.push(data(3_000, 2000, 1000));
+        recs.push(ack(53_000, 3000)); // covers all three
+        let samples = extract_rtt_samples(&trace(recs));
+        assert_eq!(samples.len(), 1);
+        // Newest segment sent at 3 ms, acked at 53 ms → 50 ms.
+        assert_eq!(samples[0].rtt, SimDuration::from_millis(50));
+        assert_eq!(samples[0].seq_end, 3000);
+    }
+
+    #[test]
+    fn karn_discards_retransmitted_ranges() {
+        let mut recs = handshake();
+        recs.push(data(1_000, 0, 1000));
+        recs.push(data(2_000, 1000, 1000));
+        // Retransmission of the first segment.
+        recs.push(data(300_000, 0, 1000));
+        recs.push(ack(350_000, 2000));
+        let samples = extract_rtt_samples(&trace(recs));
+        // Segment 1 tainted; segment 2 clean and newest → 1 sample.
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].seq_end, 2000);
+        assert_eq!(samples[0].rtt, SimDuration::from_micros(348_000));
+    }
+
+    #[test]
+    fn duplicate_acks_produce_no_samples() {
+        let mut recs = handshake();
+        recs.push(data(1_000, 0, 1000));
+        recs.push(ack(41_000, 1000));
+        recs.push(ack(42_000, 1000));
+        recs.push(ack(43_000, 1000));
+        let samples = extract_rtt_samples(&trace(recs));
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn bytes_acked_by_tracks_cumulative_ack() {
+        let mut recs = handshake();
+        recs.push(data(1_000, 0, 1000));
+        recs.push(ack(41_000, 1000));
+        recs.push(data(42_000, 1000, 1000));
+        recs.push(ack(92_000, 2000));
+        let t = trace(recs);
+        assert_eq!(bytes_acked_by(&t, SimTime::from_micros(41_000)), 1000);
+        assert_eq!(bytes_acked_by(&t, SimTime::from_micros(100_000)), 2000);
+        assert_eq!(bytes_acked_by(&t, SimTime::from_micros(10)), 0);
+    }
+
+    #[test]
+    fn no_syn_trace_anchors_at_first_data_packet() {
+        // Without a SYN the extractor anchors offsets at the first data
+        // packet, so samples still come out.
+        let recs = vec![data(1_000, 0, 1000), ack(41_000, 1000)];
+        let samples = extract_rtt_samples(&trace(recs));
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].rtt, SimDuration::from_millis(40));
+    }
+}

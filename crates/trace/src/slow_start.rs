@@ -1,0 +1,270 @@
+//! Slow-start boundary detection.
+//!
+//! The paper defines the slow-start period as everything up to the
+//! first retransmission or fast retransmission ("We use tshark to
+//! obtain the first instance of a retransmission …, which signals the
+//! end of slow start"). In a trace, a retransmission is an outgoing
+//! data segment whose sequence range regresses below the highest
+//! sequence already sent.
+
+use crate::flow::{FlowTrace, OffsetTracker};
+use crate::rtt::{bytes_acked_by, RttSample};
+use csig_netsim::{Direction, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The slow-start window of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowStart {
+    /// When the first downstream data segment left the server.
+    pub first_data_at: Option<SimTime>,
+    /// Time of the first retransmission (`None` if the flow never
+    /// retransmitted, in which case the whole flow is "slow start" for
+    /// the paper's purposes).
+    pub end: Option<SimTime>,
+    /// Payload bytes cumulatively acknowledged by `end` (or by the end
+    /// of the trace when `end` is `None`).
+    pub bytes_acked: u64,
+}
+
+impl SlowStart {
+    /// The boundary to use when windowing samples: the first
+    /// retransmission, or "forever" if none happened.
+    pub fn boundary(&self) -> SimTime {
+        self.end.unwrap_or(SimTime::MAX)
+    }
+
+    /// Downstream throughput achieved during slow start, in bits/s.
+    /// `None` if the flow carried no data or the window is degenerate.
+    pub fn throughput_bps(&self) -> Option<f64> {
+        let start = self.first_data_at?;
+        let end = self.end?;
+        let secs = end.saturating_since(start).as_secs_f64();
+        if secs <= 0.0 || self.bytes_acked == 0 {
+            return None;
+        }
+        Some(self.bytes_acked as f64 * 8.0 / secs)
+    }
+}
+
+/// Detect the slow-start window of a server-side flow trace.
+pub fn detect_slow_start(trace: &FlowTrace) -> SlowStart {
+    let isn = trace.isn();
+    let mut tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
+    let mut max_sent_end: u64 = 0;
+    let mut first_data_at = None;
+    let mut end = None;
+
+    for rec in &trace.records {
+        if rec.dir != Direction::Out {
+            continue;
+        }
+        let Some(h) = rec.pkt.tcp() else { continue };
+        if h.payload_len == 0 {
+            continue;
+        }
+        let tr = tracker.get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
+        let start = tr.offset(h.seq);
+        let seg_end = start + h.payload_len as u64;
+        if first_data_at.is_none() {
+            first_data_at = Some(rec.time);
+        }
+        if start < max_sent_end {
+            end = Some(rec.time);
+            break;
+        }
+        max_sent_end = seg_end;
+    }
+
+    let until = end.unwrap_or(SimTime::MAX);
+    SlowStart {
+        first_data_at,
+        end,
+        bytes_acked: bytes_acked_by(trace, until),
+    }
+}
+
+/// Capacity-style slow-start throughput estimate: goodput over the
+/// *second half* of the slow-start window, in bits/s. A plain window
+/// average systematically underestimates capacity (most of an
+/// exponential ramp's bytes arrive at its end); the late-window rate is
+/// the quantity the paper calls "indicative of the capacity of the
+/// bottleneck link". Returns `None` when the window is degenerate or
+/// the flow never retransmitted.
+pub fn capacity_estimate_bps(trace: &FlowTrace, ss: &SlowStart) -> Option<f64> {
+    let (start, end) = (ss.first_data_at?, ss.end?);
+    let span = end.saturating_since(start);
+    if span.is_zero() {
+        return None;
+    }
+    let mid = start + span / 2;
+    let late_bytes = bytes_acked_by(trace, end).saturating_sub(bytes_acked_by(trace, mid));
+    let secs = (span / 2).as_secs_f64();
+    if secs <= 0.0 || late_bytes == 0 {
+        return None;
+    }
+    Some(late_bytes as f64 * 8.0 / secs)
+}
+
+/// Filter RTT samples to the slow-start window (samples whose ACK
+/// arrived no later than the boundary).
+pub fn slow_start_samples(samples: &[RttSample], ss: &SlowStart) -> Vec<RttSample> {
+    let boundary = ss.boundary();
+    samples.iter().filter(|s| s.at <= boundary).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowTrace;
+    use csig_netsim::{
+        FlowId, NodeId, Packet, PacketId, PacketKind, SimDuration, TcpFlags, TcpHeader, NO_SACK,
+    };
+
+    const ISS: u32 = 1000;
+
+    fn rec(dir: Direction, t_ms: u64, seq_off: u32, len: u32, ack_off: u32, flags: TcpFlags) -> csig_netsim::PacketRecord {
+        let (seq, ack) = match dir {
+            Direction::Out => (ISS.wrapping_add(1).wrapping_add(seq_off), 1),
+            Direction::In => (900, ISS.wrapping_add(1).wrapping_add(ack_off)),
+        };
+        csig_netsim::PacketRecord {
+            time: SimTime::from_millis(t_ms),
+            dir,
+            pkt: Packet {
+                id: PacketId(0),
+                flow: FlowId(1),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 52 + len,
+                sent_at: SimTime::from_millis(t_ms),
+                kind: PacketKind::Tcp(TcpHeader {
+                    seq,
+                    ack,
+                    flags,
+                    payload_len: len,
+                    window: 65535,
+                    sack: NO_SACK,
+                }),
+            },
+        }
+    }
+
+    fn syn_out() -> csig_netsim::PacketRecord {
+        csig_netsim::PacketRecord {
+            time: SimTime::ZERO,
+            dir: Direction::Out,
+            pkt: Packet {
+                id: PacketId(0),
+                flow: FlowId(1),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 52,
+                sent_at: SimTime::ZERO,
+                kind: PacketKind::Tcp(TcpHeader {
+                    seq: ISS,
+                    ack: 0,
+                    flags: TcpFlags::SYN | TcpFlags::ACK,
+                    payload_len: 0,
+                    window: 65535,
+                    sack: NO_SACK,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn detects_first_retransmission() {
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                syn_out(),
+                rec(Direction::Out, 10, 0, 1000, 0, TcpFlags::ACK),
+                rec(Direction::Out, 11, 1000, 1000, 0, TcpFlags::ACK),
+                rec(Direction::In, 50, 0, 0, 1000, TcpFlags::ACK),
+                // Retransmission of offset 0 at t=300.
+                rec(Direction::Out, 300, 0, 1000, 0, TcpFlags::ACK),
+                rec(Direction::Out, 400, 2000, 1000, 0, TcpFlags::ACK),
+            ],
+        };
+        let ss = detect_slow_start(&trace);
+        assert_eq!(ss.first_data_at, Some(SimTime::from_millis(10)));
+        assert_eq!(ss.end, Some(SimTime::from_millis(300)));
+        // Only 1000 bytes were cumulatively acked before the boundary.
+        assert_eq!(ss.bytes_acked, 1000);
+    }
+
+    #[test]
+    fn clean_flow_has_no_boundary() {
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                syn_out(),
+                rec(Direction::Out, 10, 0, 1000, 0, TcpFlags::ACK),
+                rec(Direction::In, 50, 0, 0, 1000, TcpFlags::ACK),
+            ],
+        };
+        let ss = detect_slow_start(&trace);
+        assert_eq!(ss.end, None);
+        assert_eq!(ss.boundary(), SimTime::MAX);
+        assert_eq!(ss.bytes_acked, 1000);
+        assert_eq!(ss.throughput_bps(), None);
+    }
+
+    #[test]
+    fn slow_start_throughput_is_bytes_over_window() {
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                syn_out(),
+                rec(Direction::Out, 100, 0, 100_000, 0, TcpFlags::ACK),
+                rec(Direction::In, 500, 0, 0, 100_000, TcpFlags::ACK),
+                rec(Direction::Out, 600, 0, 1000, 0, TcpFlags::ACK), // retx
+            ],
+        };
+        let ss = detect_slow_start(&trace);
+        // 100 kB acked over (600-100) ms → 1.6 Mbps.
+        let bps = ss.throughput_bps().unwrap();
+        assert!((bps - 1.6e6).abs() < 1e3, "{bps}");
+    }
+
+    #[test]
+    fn capacity_estimate_uses_late_window() {
+        // 100 kB acked in the first half, 400 kB in the second half of
+        // a 1 s slow-start window: the estimate must reflect the late
+        // rate (400 kB / 0.5 s = 6.4 Mbps), not the 4 Mbps average.
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                syn_out(),
+                rec(Direction::Out, 0, 0, 1000, 0, TcpFlags::ACK),
+                rec(Direction::In, 400, 0, 0, 100_000, TcpFlags::ACK),
+                rec(Direction::In, 900, 0, 0, 500_000, TcpFlags::ACK),
+                rec(Direction::Out, 1000, 0, 1000, 0, TcpFlags::ACK), // retx
+            ],
+        };
+        let ss = detect_slow_start(&trace);
+        let est = capacity_estimate_bps(&trace, &ss).unwrap();
+        assert!((est - 6.4e6).abs() < 1e5, "{est}");
+        // Degenerate cases return None.
+        let open = SlowStart { end: None, ..ss };
+        assert_eq!(capacity_estimate_bps(&trace, &open), None);
+    }
+
+    #[test]
+    fn sample_windowing() {
+        let mk = |ms| RttSample {
+            at: SimTime::from_millis(ms),
+            rtt: SimDuration::from_millis(10),
+            seq_end: 0,
+        };
+        let samples = vec![mk(10), mk(20), mk(30)];
+        let ss = SlowStart {
+            first_data_at: Some(SimTime::ZERO),
+            end: Some(SimTime::from_millis(20)),
+            bytes_acked: 0,
+        };
+        assert_eq!(slow_start_samples(&samples, &ss).len(), 2);
+        let open = SlowStart { end: None, ..ss };
+        assert_eq!(slow_start_samples(&samples, &open).len(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Throughput computation from server-side traces.
+//!
+//! Mirrors what NDT reports: downstream goodput measured from the
+//! cumulative acknowledgment stream (bytes the client demonstrably
+//! received), overall and as a binned time series.
+
+use crate::flow::{FlowTrace, OffsetTracker};
+use csig_netsim::{Direction, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Goodput summary for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSummary {
+    /// Payload bytes cumulatively acknowledged over the whole trace.
+    pub bytes_acked: u64,
+    /// Time from the first outgoing data segment to the last
+    /// ack-number advance.
+    pub active: SimDuration,
+    /// Mean goodput in bits/s over `active` (0 if degenerate).
+    pub mean_bps: f64,
+}
+
+/// Compute the goodput summary of a server-side flow trace.
+pub fn throughput_summary(trace: &FlowTrace) -> ThroughputSummary {
+    let isn = trace.isn();
+    let mut tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
+    let mut first_data: Option<SimTime> = None;
+    let mut last_advance: Option<SimTime> = None;
+    let mut max_ack = 0u64;
+    let mut fin_cap: Option<u64> = None;
+
+    for rec in &trace.records {
+        let Some(h) = rec.pkt.tcp() else { continue };
+        match rec.dir {
+            Direction::Out if h.payload_len > 0 || h.flags.fin() => {
+                let tr = tracker.get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
+                let start = tr.offset(h.seq);
+                if h.payload_len > 0 {
+                    first_data.get_or_insert(rec.time);
+                }
+                if h.flags.fin() {
+                    // The FIN consumes one sequence number that is not
+                    // payload; cap acked-byte accounting below it.
+                    fin_cap = Some(start + h.payload_len as u64);
+                }
+            }
+            Direction::In if h.flags.ack() => {
+                let Some(tr) = tracker.as_ref() else { continue };
+                let mut off = csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, max_ack);
+                if let Some(cap) = fin_cap {
+                    off = off.min(cap);
+                }
+                if off > max_ack {
+                    max_ack = off;
+                    last_advance = Some(rec.time);
+                }
+            }
+            _ => {}
+        }
+    }
+    let active = match (first_data, last_advance) {
+        (Some(a), Some(b)) => b.saturating_since(a),
+        _ => SimDuration::ZERO,
+    };
+    let mean_bps = if active.is_zero() {
+        0.0
+    } else {
+        max_ack as f64 * 8.0 / active.as_secs_f64()
+    };
+    ThroughputSummary {
+        bytes_acked: max_ack,
+        active,
+        mean_bps,
+    }
+}
+
+/// Goodput time series: bits/s in consecutive bins of width `bin`,
+/// starting at the first record. Bins with no ack progress report 0.
+pub fn throughput_timeseries(trace: &FlowTrace, bin: SimDuration) -> Vec<(SimTime, f64)> {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let Some((t0, t1)) = trace.time_span() else {
+        return Vec::new();
+    };
+    let isn = trace.isn();
+    let mut tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
+    let nbins = (t1.saturating_since(t0).as_nanos() / bin.as_nanos()).min(1_000_000) as usize + 1;
+    let mut acked_per_bin = vec![0u64; nbins];
+    let mut max_ack = 0u64;
+
+    for rec in &trace.records {
+        let Some(h) = rec.pkt.tcp() else { continue };
+        match rec.dir {
+            Direction::Out if h.payload_len > 0 => {
+                let tr = tracker.get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
+                let _ = tr.offset(h.seq);
+            }
+            Direction::In if h.flags.ack() => {
+                let Some(tr) = tracker.as_ref() else { continue };
+                let off = csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, max_ack);
+                if off > max_ack {
+                    let idx =
+                        (rec.time.saturating_since(t0).as_nanos() / bin.as_nanos()) as usize;
+                    if idx < nbins {
+                        acked_per_bin[idx] += off - max_ack;
+                    }
+                    max_ack = off;
+                }
+            }
+            _ => {}
+        }
+    }
+    let secs = bin.as_secs_f64();
+    acked_per_bin
+        .into_iter()
+        .enumerate()
+        .map(|(i, bytes)| (t0 + bin * i as u64, bytes as f64 * 8.0 / secs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowTrace;
+    use csig_netsim::{
+        FlowId, NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK,
+    };
+
+    const ISS: u32 = 77;
+
+    fn rec(dir: Direction, t_ms: u64, seq: u32, ack: u32, len: u32, flags: TcpFlags) -> csig_netsim::PacketRecord {
+        csig_netsim::PacketRecord {
+            time: SimTime::from_millis(t_ms),
+            dir,
+            pkt: Packet {
+                id: PacketId(0),
+                flow: FlowId(1),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 52 + len,
+                sent_at: SimTime::from_millis(t_ms),
+                kind: PacketKind::Tcp(TcpHeader {
+                    seq,
+                    ack,
+                    flags,
+                    payload_len: len,
+                    window: 65535,
+                    sack: NO_SACK,
+                }),
+            },
+        }
+    }
+
+    fn simple_trace() -> FlowTrace {
+        FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                rec(Direction::Out, 0, ISS, 0, 0, TcpFlags::SYN | TcpFlags::ACK),
+                rec(Direction::Out, 100, ISS + 1, 0, 50_000, TcpFlags::ACK),
+                rec(Direction::In, 300, 1, ISS + 1 + 50_000, 0, TcpFlags::ACK),
+                rec(Direction::Out, 350, ISS + 1 + 50_000, 0, 50_000, TcpFlags::ACK),
+                rec(Direction::In, 1100, 1, ISS + 1 + 100_000, 0, TcpFlags::ACK),
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_counts_acked_bytes_over_active_window() {
+        let s = throughput_summary(&simple_trace());
+        assert_eq!(s.bytes_acked, 100_000);
+        assert_eq!(s.active, SimDuration::from_millis(1000));
+        // 100 kB over 1 s = 800 kbps.
+        assert!((s.mean_bps - 800_000.0).abs() < 1.0, "{}", s.mean_bps);
+    }
+
+    #[test]
+    fn timeseries_bins_progress() {
+        let ts = throughput_timeseries(&simple_trace(), SimDuration::from_millis(500));
+        // Trace spans 1.1 s → 3 bins. Bin 0 gets the first 50 kB, bin 2
+        // the second.
+        assert_eq!(ts.len(), 3);
+        assert!(ts[0].1 > 0.0);
+        assert_eq!(ts[1].1, 0.0);
+        assert!(ts[2].1 > 0.0);
+        let total: f64 = ts.iter().map(|(_, bps)| bps * 0.5 / 8.0).sum();
+        assert!((total - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_degenerate() {
+        let t = FlowTrace {
+            flow: FlowId(1),
+            records: vec![],
+        };
+        let s = throughput_summary(&t);
+        assert_eq!(s.bytes_acked, 0);
+        assert_eq!(s.mean_bps, 0.0);
+        assert!(throughput_timeseries(&t, SimDuration::from_millis(10)).is_empty());
+    }
+}

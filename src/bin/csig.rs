@@ -1,0 +1,253 @@
+//! `csig` — command-line interface to the congestion-signature
+//! classifier.
+//!
+//! ```text
+//! csig train [--out model.json] [--reps N] [--threshold T] [--full-grid]
+//!     Run a labeled testbed sweep and write a trained model.
+//!
+//! csig classify <capture.pcap> [--model model.json] [--server-port P]
+//!     Classify every TCP flow of a server-side packet capture
+//!     (tcpdump microsecond/nanosecond pcap, Ethernet or raw-IP).
+//!     Without --model, a default model is trained on the fly.
+//!
+//! csig simulate [--external] [--out capture.pcap] [--seed S]
+//!     Run one simulated speed test and export its server-side capture.
+//!
+//! csig inspect <capture.pcap> [--server-port P]
+//!     Per-flow RTT/slow-start statistics without classification.
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use csig_core::{train_from_results, SignatureClassifier};
+use csig_dtree::TreeParams;
+use csig_features::features_from_samples;
+use csig_netsim::SimDuration;
+use csig_testbed::{paper_grid, small_grid, AccessParams, Profile, Sweep, TestbedConfig};
+use csig_trace::{
+    capacity_estimate_bps, detect_slow_start, extract_rtt_samples, import_pcap, split_flows,
+    throughput_summary, write_pcap, ServerSelector,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "train" => cmd_train(rest),
+        "classify" => cmd_classify(rest),
+        "simulate" => cmd_simulate(rest),
+        "inspect" => cmd_inspect(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("csig: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  csig train    [--out model.json] [--reps N] [--threshold T] [--full-grid] [--seed S]
+  csig classify <capture.pcap> [--model model.json] [--server-port P]
+  csig simulate [--external] [--out capture.pcap] [--seed S]
+  csig inspect  <capture.pcap> [--server-port P]";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String]) -> Option<&String> {
+    // First argument that is neither a flag nor the value of the flag
+    // preceding it.
+    args.iter().enumerate().find_map(|(i, a)| {
+        if a.starts_with("--") {
+            return None;
+        }
+        match i.checked_sub(1).and_then(|j| args.get(j)) {
+            Some(prev) if prev.starts_with("--") => None,
+            _ => Some(a),
+        }
+    })
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").unwrap_or_else(|| "model.json".into());
+    let reps: u32 = flag_value(args, "--reps")
+        .map(|v| v.parse().map_err(|_| "bad --reps"))
+        .transpose()?
+        .unwrap_or(4);
+    let threshold: f64 = flag_value(args, "--threshold")
+        .map(|v| v.parse().map_err(|_| "bad --threshold"))
+        .transpose()?
+        .unwrap_or(0.7);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let grid = if has_flag(args, "--full-grid") {
+        paper_grid()
+    } else {
+        small_grid()
+    };
+    eprintln!(
+        "training: {} grid points × {reps} reps × 2 scenarios…",
+        grid.len()
+    );
+    let results = Sweep {
+        grid,
+        reps,
+        profile: Profile::Scaled,
+        seed,
+    }
+    .run(|done, total| {
+        if done % 10 == 0 {
+            eprintln!("  {done}/{total}");
+        }
+    });
+    let clf = train_from_results(&results, threshold, TreeParams::default())
+        .ok_or("sweep produced a single class; try a different threshold")?;
+    fs::write(&out, clf.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "model trained on {} flows ({} filtered), written to {out}",
+        clf.meta.n_train, clf.meta.n_filtered
+    );
+    println!("{}", clf.render());
+    let imp = clf.tree().feature_importances();
+    println!("feature importances: NormDiff={:.2} CoV={:.2}", imp[0], imp[1]);
+    Ok(())
+}
+
+fn load_or_train_model(args: &[String]) -> Result<SignatureClassifier, String> {
+    match flag_value(args, "--model") {
+        Some(path) => {
+            let json = fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            SignatureClassifier::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+        }
+        None => {
+            eprintln!("no --model given; training a default model (~1 min)…");
+            let results = Sweep {
+                grid: small_grid(),
+                reps: 4,
+                profile: Profile::Scaled,
+                seed: 42,
+            }
+            .run(|_, _| {});
+            train_from_results(&results, 0.7, TreeParams::default())
+                .ok_or_else(|| "default training failed".into())
+        }
+    }
+}
+
+fn load_capture(args: &[String]) -> Result<csig_netsim::Capture, String> {
+    let path = positional(args).ok_or("missing capture path")?;
+    let selector = match flag_value(args, "--server-port") {
+        Some(p) => ServerSelector::Port(p.parse().map_err(|_| "bad --server-port")?),
+        None => ServerSelector::MostBytesSent,
+    };
+    let file = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    import_pcap(file, selector).map_err(|e| e.to_string())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let capture = load_capture(args)?;
+    let clf = load_or_train_model(args)?;
+    let reports = csig_core::analyze_capture(&clf, &capture);
+    if reports.is_empty() {
+        return Err("no TCP flows found (wrong --server-port?)".into());
+    }
+    println!("{:>6} {:>10} {:>9} {:>9} {:>8} {:>10}", "flow", "class", "conf", "NormDiff", "CoV", "samples");
+    for r in reports {
+        match r.verdict {
+            Ok(v) => println!(
+                "{:>6} {:>10} {:>8.0}% {:>9.3} {:>8.3} {:>10}",
+                r.flow.0,
+                v.class.label(),
+                v.confidence * 100.0,
+                v.features.norm_diff,
+                v.features.cov,
+                v.features.samples
+            ),
+            Err(e) => println!("{:>6} {:>10}  ({e})", r.flow.0, "skipped"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").unwrap_or_else(|| "capture.pcap".into());
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(7);
+    let mut cfg = TestbedConfig::scaled(AccessParams::figure1(), seed);
+    if has_flag(args, "--external") {
+        cfg = cfg.externally_congested();
+    }
+    eprintln!(
+        "simulating a speed test ({}; 20 Mbps plan, 100 ms buffer)…",
+        if has_flag(args, "--external") {
+            "congested interconnect"
+        } else {
+            "idle path"
+        }
+    );
+    let mut tb = csig_testbed::build(&cfg);
+    tb.sim.run_until(tb.test_end + SimDuration::from_millis(500));
+    let capture = tb.sim.take_capture(tb.capture);
+    let file = fs::File::create(&out).map_err(|e| format!("creating {out}: {e}"))?;
+    let n = write_pcap(&capture, file).map_err(|e| e.to_string())?;
+    eprintln!("wrote {n} packets to {out}");
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let capture = load_capture(args)?;
+    let flows = split_flows(&capture);
+    if flows.is_empty() {
+        return Err("no TCP flows found".into());
+    }
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>9} {:>12}",
+        "flow", "packets", "acked(kB)", "mean Mbps", "ss end(s)", "samples", "capacity est"
+    );
+    for (flow, trace) in &flows {
+        let tput = throughput_summary(trace);
+        let ss = detect_slow_start(trace);
+        let samples = extract_rtt_samples(trace);
+        let feat = features_from_samples(&samples, &ss);
+        let cap_est = capacity_estimate_bps(trace, &ss)
+            .map(|b| format!("{:.1} Mbps", b / 1e6))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>6} {:>8} {:>10.0} {:>10.2} {:>10} {:>9} {:>12}",
+            flow.0,
+            trace.len(),
+            tput.bytes_acked as f64 / 1e3,
+            tput.mean_bps / 1e6,
+            ss.end
+                .map(|t| format!("{:.2}", t.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            feat.map(|f| f.samples).unwrap_or(0),
+            cap_est,
+        );
+    }
+    Ok(())
+}

@@ -109,7 +109,13 @@ fn bench_figures(c: &mut Criterion) {
         ..Tslp2017Config::default()
     });
     g.bench_function("exp_tslp2017_evaluate", |b| {
-        b.iter(|| black_box(tslp_exp::evaluate(black_box(&clf), black_box(&tslp_out), 25)))
+        b.iter(|| {
+            black_box(tslp_exp::evaluate(
+                black_box(&clf),
+                black_box(&tslp_out),
+                25,
+            ))
+        })
     });
 
     // Ablations — CV analysis on precomputed results.

@@ -8,9 +8,7 @@ use csig_dtree::{Dataset, DecisionTree, TreeParams};
 use csig_features::features_from_samples;
 use csig_netsim::{Capture, LinkConfig, SimDuration, Simulator};
 use csig_tcp::{ClientBehavior, ServerSendPolicy, TcpClientAgent, TcpConfig, TcpServerAgent};
-use csig_trace::{
-    detect_slow_start, extract_rtt_samples, read_pcap, split_flows, write_pcap,
-};
+use csig_trace::{detect_slow_start, extract_rtt_samples, read_pcap, split_flows, write_pcap};
 use std::hint::black_box;
 
 /// A realistic server-side capture: a 4 MB download over a 20 Mbps /
@@ -45,7 +43,10 @@ fn training_set(n: usize) -> Dataset {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let mut d = Dataset::new();
     for _ in 0..n {
-        d.push(vec![0.6 + rng.gen::<f64>() * 0.4, 0.1 + rng.gen::<f64>() * 0.3], 0);
+        d.push(
+            vec![0.6 + rng.gen::<f64>() * 0.4, 0.1 + rng.gen::<f64>() * 0.3],
+            0,
+        );
         d.push(vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.1], 1);
     }
     d

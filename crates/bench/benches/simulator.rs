@@ -50,8 +50,16 @@ fn packet_blast(seed: u64) -> u64 {
         csig_netsim::SimTime::from_millis(500),
     )));
     let r = sim.add_router();
-    sim.add_duplex_link(src, r, LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)));
-    sim.add_duplex_link(r, sink, LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)));
+    sim.add_duplex_link(
+        src,
+        r,
+        LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)),
+    );
+    sim.add_duplex_link(
+        r,
+        sink,
+        LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)),
+    );
     sim.compute_routes();
     sim.run();
     sim.events_processed()
@@ -87,7 +95,10 @@ fn bench_simulator(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(run_test(&TestbedConfig::scaled(AccessParams::figure1(), seed)))
+            black_box(run_test(&TestbedConfig::scaled(
+                AccessParams::figure1(),
+                seed,
+            )))
         })
     });
     g.finish();

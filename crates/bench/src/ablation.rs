@@ -24,7 +24,11 @@ pub enum FeatureSet {
 
 impl FeatureSet {
     /// All variants.
-    pub const ALL: [FeatureSet; 3] = [FeatureSet::Both, FeatureSet::NormDiffOnly, FeatureSet::CovOnly];
+    pub const ALL: [FeatureSet; 3] = [
+        FeatureSet::Both,
+        FeatureSet::NormDiffOnly,
+        FeatureSet::CovOnly,
+    ];
 
     /// Label for reports.
     pub fn label(self) -> &'static str {
@@ -64,7 +68,11 @@ pub struct AblationRow {
 
 /// Cross-validate every (feature set × depth) combination on labeled
 /// sweep results.
-pub fn feature_depth_ablation(results: &[TestResult], threshold: f64, seed: u64) -> Vec<AblationRow> {
+pub fn feature_depth_ablation(
+    results: &[TestResult],
+    threshold: f64,
+    seed: u64,
+) -> Vec<AblationRow> {
     let (data, _) = build_dataset(results, threshold);
     let mut rows = Vec::new();
     for features in FeatureSet::ALL {
@@ -73,12 +81,7 @@ pub fn feature_depth_ablation(results: &[TestResult], threshold: f64, seed: u64)
             rows.push(AblationRow {
                 features,
                 depth,
-                cv_accuracy: cross_val_accuracy(
-                    &projected,
-                    TreeParams::with_depth(depth),
-                    5,
-                    seed,
-                ),
+                cv_accuracy: cross_val_accuracy(&projected, TreeParams::with_depth(depth), 5, seed),
             });
         }
     }

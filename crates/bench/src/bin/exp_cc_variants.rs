@@ -1,13 +1,16 @@
 //! §6 robustness: congestion-control variants, RED, buffer depths.
 //!
-//! `cargo run --release -p csig-bench --bin exp_cc_variants [reps]`
+//! `cargo run --release -p csig-bench --bin exp_cc_variants [reps]
+//!  [--jobs N] [--seed S]`
 
 use csig_bench::{cc_variants, dispute};
+use csig_exec::cli::CommonArgs;
 
 fn main() {
-    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(6);
+    let args = CommonArgs::parse();
+    let reps: u32 = args.positional_parsed(6);
     eprintln!("cc_variants: training reference model…");
-    let clf = dispute::testbed_model(5, 0xCC01);
-    let rows = cc_variants::run(&clf, reps, 0xCC02);
+    let clf = dispute::testbed_model_jobs(5, 0xCC01, args.jobs);
+    let rows = cc_variants::run(&clf, reps, args.seed_or(0xCC02));
     cc_variants::print(&rows);
 }

@@ -1,24 +1,30 @@
 //! Ablations: feature subsets × tree depth (5-fold CV accuracy).
 //!
-//! `cargo run --release -p csig-bench --bin exp_feature_ablation [reps]`
+//! `cargo run --release -p csig-bench --bin exp_feature_ablation [reps]
+//!  [--paper] [--jobs N] [--seed S] [--progress]`
 
 use csig_bench::ablation;
+use csig_exec::cli::CommonArgs;
 use csig_testbed::{paper_grid, Profile, Sweep};
 
 fn main() {
-    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(3);
-    eprintln!("ablation: sweeping full grid reps={reps}…");
+    let args = CommonArgs::parse();
+    let reps: u32 = args.positional_parsed(3);
+    eprintln!(
+        "ablation: sweeping full grid reps={reps} ({} workers)…",
+        args.executor().jobs()
+    );
     let results = Sweep {
         grid: paper_grid(),
         reps,
-        profile: Profile::Scaled,
-        seed: 0xAB1A,
+        profile: if args.paper {
+            Profile::Paper
+        } else {
+            Profile::Scaled
+        },
+        seed: args.seed_or(0xAB1A),
     }
-    .run(|done, total| {
-        if done % 24 == 0 {
-            eprintln!("  {done}/{total}");
-        }
-    });
+    .run_jobs(args.jobs, args.progress_printer(24));
     let rows = ablation::feature_depth_ablation(&results, 0.7, 5);
     ablation::print(&rows);
 }

@@ -1,15 +1,23 @@
 //! Regenerate the §3.3 multiplexing table: classification accuracy as
 //! interconnect multiplexing drops and access cross traffic rises.
 //!
-//! `cargo run --release -p csig-bench --bin exp_multiplexing [reps]`
+//! `cargo run --release -p csig-bench --bin exp_multiplexing [reps]
+//!  [--paper] [--seed S]`
 
 use csig_bench::multiplexing;
+use csig_exec::cli::CommonArgs;
 use csig_testbed::Profile;
 
 fn main() {
-    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(8);
+    let args = CommonArgs::parse();
+    let reps: u32 = args.positional_parsed(8);
+    let profile = if args.paper {
+        Profile::Paper
+    } else {
+        Profile::Scaled
+    };
     eprintln!("multiplexing: {reps} tests per point (training model first)");
-    let clf = multiplexing::reference_model(Profile::Scaled, 5, 0xE331);
-    let data = multiplexing::run(&clf, reps, Profile::Scaled, 0xE332);
+    let clf = multiplexing::reference_model(profile, 5, 0xE331);
+    let data = multiplexing::run(&clf, reps, profile, args.seed_or(0xE332));
     multiplexing::print(&data);
 }

@@ -3,17 +3,20 @@
 //! Figure-1 setting with SACK on and off, for both scenarios, and
 //! reports features + classification accuracy under a SACK-on model.
 //!
-//! `cargo run --release -p csig-bench --bin exp_sack_ablation [reps]`
+//! `cargo run --release -p csig-bench --bin exp_sack_ablation [reps]
+//!  [--jobs N] [--seed S]`
 
-use csig_bench::dispute::testbed_model;
+use csig_bench::dispute::testbed_model_jobs;
+use csig_exec::cli::CommonArgs;
 use csig_netsim::rng::derive_seed;
 use csig_testbed::{run_test, AccessParams, TestbedConfig};
 
-
 fn main() {
-    let reps: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(8);
+    let args = CommonArgs::parse();
+    let reps: u32 = args.positional_parsed(8);
     eprintln!("exp_sack_ablation: training reference model…");
-    let clf = testbed_model(5, 0x5AC0);
+    let clf = testbed_model_jobs(5, 0x5AC0, args.jobs);
+    let base_seed = args.seed_or(0x5AC1);
 
     println!("SACK ablation — {reps} tests/cell at the Figure-1 setting");
     println!(
@@ -26,7 +29,10 @@ fn main() {
             let mut covs = Vec::new();
             let mut right = 0usize;
             for rep in 0..reps {
-                let seed = derive_seed(0x5AC1, ((sack as u64) << 32) | ((external as u64) << 16) | rep as u64);
+                let seed = derive_seed(
+                    base_seed,
+                    ((sack as u64) << 32) | ((external as u64) << 16) | rep as u64,
+                );
                 let mut cfg = TestbedConfig::scaled(AccessParams::figure1(), seed);
                 cfg.tcp.sack = sack;
                 // Vary only the measured flow's stack.

@@ -2,43 +2,49 @@
 //! campaign, with both a testbed-trained and a Dispute2014-trained
 //! model.
 //!
-//! `cargo run --release -p csig-bench --bin exp_tslp2017 [days]`
+//! `cargo run --release -p csig-bench --bin exp_tslp2017 [days]
+//!  [--jobs N] [--seed S] [--progress]`
 
 use csig_bench::{dispute, tslp_exp};
 use csig_core::{ModelMeta, SignatureClassifier};
 use csig_dtree::{Dataset, TreeParams};
+use csig_exec::cli::CommonArgs;
 use csig_mlab::{
-    generate_with_progress, label_dispute2014, run_campaign_with_progress, Dispute2014Config,
-    Tslp2017Config,
+    generate_jobs, label_dispute2014, run_campaign_jobs, Dispute2014Config, Tslp2017Config,
 };
 use csig_netsim::SimDuration;
 
 fn main() {
-    let days: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(14);
+    let args = CommonArgs::parse();
+    let days: u32 = args.positional_parsed(14);
     let cfg = Tslp2017Config {
         days,
         episode_days: (0..days).filter(|d| d % 3 == 2).collect(),
+        seed: args.seed_or(Tslp2017Config::default().seed),
         ..Tslp2017Config::default()
     };
-    eprintln!("exp_tslp2017: running {days}-day campaign…");
-    let out = run_campaign_with_progress(&cfg, |done, total| {
-        if done % 100 == 0 {
-            eprintln!("  NDT {done}/{total}");
-        }
-    });
+    eprintln!(
+        "exp_tslp2017: running {days}-day campaign ({} workers)…",
+        args.executor().jobs()
+    );
+    let out = run_campaign_jobs(&cfg, args.jobs, args.progress_printer(100));
 
     eprintln!("training testbed model…");
-    let testbed_clf = dispute::testbed_model(5, 0x7517);
-    tslp_exp::print_accuracy("testbed-trained model", &tslp_exp::evaluate(&testbed_clf, &out, 25));
+    let testbed_clf = dispute::testbed_model_jobs(5, 0x7517, args.jobs);
+    tslp_exp::print_accuracy(
+        "testbed-trained model",
+        &tslp_exp::evaluate(&testbed_clf, &out, 25),
+    );
 
     eprintln!("training Dispute2014 model…");
-    let d2014 = generate_with_progress(
+    let d2014 = generate_jobs(
         &Dispute2014Config {
             tests_per_cell: 10,
             test_duration: SimDuration::from_secs(4),
             seed: 0x7518,
         },
-        |_, _| {},
+        args.jobs,
+        args.progress_printer(0),
     );
     let mut data = Dataset::new();
     for t in &d2014 {
@@ -57,7 +63,10 @@ fn main() {
                 n_filtered: 0,
             },
         );
-        tslp_exp::print_accuracy("Dispute2014-trained model", &tslp_exp::evaluate(&clf, &out, 25));
+        tslp_exp::print_accuracy(
+            "Dispute2014-trained model",
+            &tslp_exp::evaluate(&clf, &out, 25),
+        );
     } else {
         eprintln!("Dispute2014 labels produced a single class; skipping");
     }

@@ -1,23 +1,26 @@
 //! Regenerate Figure 1: RTT signature CDFs for self-induced vs
 //! external congestion (20 Mbps access, 100 ms buffer, 20 ms latency).
 //!
-//! `cargo run --release -p csig-bench --bin fig1 [reps] [--paper]`
+//! `cargo run --release -p csig-bench --bin fig1 [reps] [--paper]
+//!  [--jobs N] [--seed S] [--progress]`
 
 use csig_bench::fig1;
+use csig_exec::cli::CommonArgs;
 use csig_testbed::Profile;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let reps: u32 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(25);
-    let profile = if args.iter().any(|a| a == "--paper") {
+    let args = CommonArgs::parse();
+    let reps: u32 = args.positional_parsed(25);
+    let profile = if args.paper {
         Profile::Paper
     } else {
         Profile::Scaled
     };
-    eprintln!("fig1: {reps} tests/scenario, {profile:?} profile");
-    let data = fig1::run(reps, profile, 0xF161);
+    let seed = args.seed_or(0xF161);
+    eprintln!(
+        "fig1: {reps} tests/scenario, {profile:?} profile, {} workers",
+        args.executor().jobs()
+    );
+    let data = fig1::run_jobs(reps, profile, seed, args.jobs, args.progress_printer(10));
     fig1::print(&data);
 }

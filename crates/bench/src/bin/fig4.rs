@@ -1,15 +1,30 @@
 //! Regenerate Figure 4 only (NormDiff vs CoV raw scatter, CSV form).
 //!
-//! `cargo run --release -p csig-bench --bin fig4 [reps] [--full-grid]`
+//! `cargo run --release -p csig-bench --bin fig4 [reps] [--full-grid]
+//!  [--paper] [--jobs N] [--seed S] [--progress]`
 
 use csig_bench::fig3;
+use csig_exec::cli::CommonArgs;
 use csig_testbed::Profile;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let reps: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(5);
-    let full = args.iter().any(|a| a == "--full-grid");
-    let results = fig3::run_sweep(reps, full, Profile::Scaled, 0xF164);
+    let args = CommonArgs::parse();
+    let reps: u32 = args.positional_parsed(5);
+    let full = args.has_flag("--full-grid");
+    let profile = if args.paper {
+        Profile::Paper
+    } else {
+        Profile::Scaled
+    };
+    let seed = args.seed_or(0xF164);
+    let results = fig3::run_sweep_jobs(
+        reps,
+        full,
+        profile,
+        seed,
+        args.jobs,
+        args.progress_printer(0),
+    );
     let scatter = fig3::fig4_points(&results);
     fig3::print_fig4(&scatter, true);
 }

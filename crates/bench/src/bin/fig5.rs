@@ -1,25 +1,27 @@
 //! Regenerate Figure 5: diurnal NDT throughput around the dispute
 //! (Cogent LAX in Jan–Feb and Mar–Apr; Level3 ATL control).
 //!
-//! `cargo run --release -p csig-bench --bin fig5 [tests_per_cell]`
+//! `cargo run --release -p csig-bench --bin fig5 [tests_per_cell]
+//!  [--csv PATH] [--jobs N] [--seed S] [--progress]`
 
-use csig_mlab::{generate_with_progress, to_csv, Dispute2014Config, Month, TransitSite};
+use csig_exec::cli::CommonArgs;
+use csig_mlab::{generate_jobs, to_csv, Dispute2014Config, Month, TransitSite};
 use csig_netsim::SimDuration;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let tests_per_cell: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(25);
+    let args = CommonArgs::parse();
+    let tests_per_cell: u32 = args.positional_parsed(25);
     let cfg = Dispute2014Config {
         tests_per_cell,
         test_duration: SimDuration::from_secs(4),
-        seed: 0xF165,
+        seed: args.seed_or(0xF165),
     };
-    eprintln!("fig5: generating campaign ({} tests)…", tests_per_cell * 48);
-    let tests = generate_with_progress(&cfg, |done, total| {
-        if done % 200 == 0 {
-            eprintln!("  {done}/{total}");
-        }
-    });
+    eprintln!(
+        "fig5: generating campaign ({} tests, {} workers)…",
+        tests_per_cell * 48,
+        args.executor().jobs()
+    );
+    let tests = generate_jobs(&cfg, args.jobs, args.progress_printer(200));
     csig_bench::dispute::print_fig5(
         &tests,
         TransitSite::CogentLax,
@@ -41,10 +43,8 @@ fn main() {
         "5c: after resolution",
     );
     // Optional raw dump for external plotting.
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        if let Some(path) = args.get(i + 1) {
-            std::fs::write(path, to_csv(&tests)).expect("write csv");
-            eprintln!("wrote campaign CSV to {path}");
-        }
+    if let Some(path) = args.flag_value("--csv") {
+        std::fs::write(path, to_csv(&tests)).expect("write csv");
+        eprintln!("wrote campaign CSV to {path}");
     }
 }

@@ -1,23 +1,26 @@
 //! Regenerate Figure 6: TSLP latency and NDT throughput around a
 //! congestion episode of the TSLP2017 campaign.
 //!
-//! `cargo run --release -p csig-bench --bin fig6 [days]`
+//! `cargo run --release -p csig-bench --bin fig6 [days] [--jobs N]
+//!  [--seed S] [--progress]`
 
 use csig_bench::tslp_exp;
-use csig_mlab::{run_campaign_with_progress, Tslp2017Config};
+use csig_exec::cli::CommonArgs;
+use csig_mlab::{run_campaign_jobs, Tslp2017Config};
 
 fn main() {
-    let days: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(7);
+    let args = CommonArgs::parse();
+    let days: u32 = args.positional_parsed(7);
     let cfg = Tslp2017Config {
         days,
         episode_days: (0..days).filter(|d| d % 3 == 2).collect(),
+        seed: args.seed_or(Tslp2017Config::default().seed),
         ..Tslp2017Config::default()
     };
-    eprintln!("fig6: running {days}-day campaign…");
-    let out = run_campaign_with_progress(&cfg, |done, total| {
-        if done % 100 == 0 {
-            eprintln!("  NDT {done}/{total}");
-        }
-    });
+    eprintln!(
+        "fig6: running {days}-day campaign ({} NDT workers)…",
+        args.executor().jobs()
+    );
+    let out = run_campaign_jobs(&cfg, args.jobs, args.progress_printer(100));
     tslp_exp::print_fig6(&out);
 }

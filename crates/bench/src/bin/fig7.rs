@@ -2,28 +2,30 @@
 //! (site, ISP, timeframe), for labeling thresholds 0.7/0.8/0.9, and
 //! Figure 8 (median throughput by classified class).
 //!
-//! `cargo run --release -p csig-bench --bin fig7 [tests_per_cell]`
+//! `cargo run --release -p csig-bench --bin fig7 [tests_per_cell]
+//!  [--jobs N] [--seed S] [--progress]`
 
 use csig_bench::dispute;
 use csig_core::train_from_results;
 use csig_dtree::TreeParams;
-use csig_mlab::{generate_with_progress, Dispute2014Config, TransitSite};
+use csig_exec::cli::CommonArgs;
+use csig_mlab::{generate_jobs, Dispute2014Config, TransitSite};
 use csig_netsim::SimDuration;
 use csig_testbed::{paper_grid, Profile, Sweep};
 
 fn main() {
-    let tests_per_cell: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(20);
-    eprintln!("fig7: generating Dispute2014 campaign…");
+    let args = CommonArgs::parse();
+    let tests_per_cell: u32 = args.positional_parsed(20);
+    eprintln!(
+        "fig7: generating Dispute2014 campaign ({} workers)…",
+        args.executor().jobs()
+    );
     let cfg = Dispute2014Config {
         tests_per_cell,
         test_duration: SimDuration::from_secs(4),
-        seed: 0xF167,
+        seed: args.seed_or(0xF167),
     };
-    let tests = generate_with_progress(&cfg, |done, total| {
-        if done % 200 == 0 {
-            eprintln!("  {done}/{total}");
-        }
-    });
+    let tests = generate_jobs(&cfg, args.jobs, args.progress_printer(200));
 
     eprintln!("fig7: training testbed models (full grid)…");
     let results = Sweep {
@@ -32,11 +34,7 @@ fn main() {
         profile: Profile::Scaled,
         seed: 0xF168,
     }
-    .run(|done, total| {
-        if done % 24 == 0 {
-            eprintln!("  sweep {done}/{total}");
-        }
-    });
+    .run_jobs(args.jobs, args.progress_printer(24));
     for threshold in [0.6, 0.7, 0.8] {
         if let Some(clf) = train_from_results(&results, threshold, TreeParams::default()) {
             let bars = dispute::fig7(&clf, &tests);

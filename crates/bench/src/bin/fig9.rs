@@ -1,25 +1,27 @@
 //! Regenerate Figure 9: Figure-7-style classification with the model
 //! retrained on 20 % of the Dispute2014 labels (leave-target-out).
 //!
-//! `cargo run --release -p csig-bench --bin fig9 [tests_per_cell]`
+//! `cargo run --release -p csig-bench --bin fig9 [tests_per_cell]
+//!  [--jobs N] [--seed S] [--progress]`
 
 use csig_bench::dispute;
-use csig_mlab::{generate_with_progress, Dispute2014Config};
+use csig_exec::cli::CommonArgs;
+use csig_mlab::{generate_jobs, Dispute2014Config};
 use csig_netsim::SimDuration;
 
 fn main() {
-    let tests_per_cell: u32 = std::env::args().find_map(|a| a.parse().ok()).unwrap_or(20);
+    let args = CommonArgs::parse();
+    let tests_per_cell: u32 = args.positional_parsed(20);
     let cfg = Dispute2014Config {
         tests_per_cell,
         test_duration: SimDuration::from_secs(4),
-        seed: 0xF169,
+        seed: args.seed_or(0xF169),
     };
-    eprintln!("fig9: generating campaign…");
-    let tests = generate_with_progress(&cfg, |done, total| {
-        if done % 200 == 0 {
-            eprintln!("  {done}/{total}");
-        }
-    });
+    eprintln!(
+        "fig9: generating campaign ({} workers)…",
+        args.executor().jobs()
+    );
+    let tests = generate_jobs(&cfg, args.jobs, args.progress_printer(200));
     let bars = dispute::fig9(&tests, 1);
     dispute::print_fig7(&bars, "model trained on Dispute2014 labels");
 }

@@ -36,7 +36,10 @@ fn accuracy(
     let mut counts = [[0usize; 2]; 2];
     for rep in 0..reps {
         for external in [false, true] {
-            let cfg = mk(derive_seed(seed, (rep as u64) << 1 | external as u64), external);
+            let cfg = mk(
+                derive_seed(seed, (rep as u64) << 1 | external as u64),
+                external,
+            );
             let r = run_test(&cfg);
             if let Ok(f) = &r.features {
                 let pred = clf.classify(f);
@@ -97,10 +100,7 @@ pub fn run(clf: &SignatureClassifier, reps: u32, seed: u64) -> Vec<VariantRow> {
     // Buffer-depth sweep with the default stack (the §6 "1–5× BDP"
     // claim): BDP at 20 Mbps / ~46 ms RTT ≈ 115 kB ≈ 46 ms of buffer.
     for buffer_ms in [20u64, 50, 100, 150, 200] {
-        let access = AccessParams {
-            buffer_ms,
-            ..base
-        };
+        let access = AccessParams { buffer_ms, ..base };
         let (self_acc, ext_acc, n) = accuracy(
             clf,
             |s, external| {
@@ -133,7 +133,10 @@ fn queue_tag(q: QueueKind) -> u64 {
 /// Print the robustness table.
 pub fn print(rows: &[VariantRow]) {
     println!("§6 robustness — per-scenario accuracy under variants");
-    println!("  {:>22} {:>10} {:>10} {:>4}", "variant", "self", "external", "n");
+    println!(
+        "  {:>22} {:>10} {:>10} {:>4}",
+        "variant", "self", "external", "n"
+    );
     for r in rows {
         println!(
             "  {:>22} {:>9.0}% {:>9.0}% {:>4}",

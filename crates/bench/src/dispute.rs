@@ -1,6 +1,6 @@
 //! Figures 5, 7, 8 and 9: the Dispute2014 analyses.
 
-use csig_core::{train_from_results, ModelMeta, SignatureClassifier};
+use csig_core::{train_sweep, ModelMeta, SignatureClassifier};
 use csig_dtree::{Dataset, TreeParams};
 use csig_features::CongestionClass;
 use csig_mlab::{
@@ -42,7 +42,10 @@ impl Timeframe {
 
 /// Print Figure 5: diurnal mean throughput per ISP for one site/months.
 pub fn print_fig5(tests: &[NdtTest], site: TransitSite, months: &[Month], title: &str) {
-    println!("Figure 5 ({title}) — mean NDT throughput (Mbps) by local hour, {}", site.name());
+    println!(
+        "Figure 5 ({title}) — mean NDT throughput (Mbps) by local hour, {}",
+        site.name()
+    );
     print!("  hour ");
     for isp in AccessIsp::ALL {
         print!("{:>11}", isp.name());
@@ -69,14 +72,19 @@ pub fn print_fig5(tests: &[NdtTest], site: TransitSite, months: &[Month], title:
 
 /// Train the testbed reference model used by Figures 7 and 8.
 pub fn testbed_model(reps: u32, seed: u64) -> SignatureClassifier {
-    let results = Sweep {
+    testbed_model_jobs(reps, seed, 1)
+}
+
+/// [`testbed_model`] with the sweep spread over `jobs` workers.
+pub fn testbed_model_jobs(reps: u32, seed: u64, jobs: usize) -> SignatureClassifier {
+    let sweep = Sweep {
         grid: small_grid(),
         reps,
         profile: Profile::Scaled,
         seed,
-    }
-    .run(|_, _| {});
-    train_from_results(&results, 0.7, TreeParams::default()).expect("trainable")
+    };
+    let (_, model) = train_sweep(&sweep, 0.7, TreeParams::default(), jobs, |_| {});
+    model.expect("trainable")
 }
 
 /// One Figure-7 bar: fraction classified self-induced.
@@ -156,7 +164,12 @@ pub fn print_fig7(bars: &[Fig7Bar], threshold_label: &str) {
 
 /// Figure 8: median throughput of flows by classified class, per ISP ×
 /// timeframe for one transit selection.
-pub fn print_fig8(clf: &SignatureClassifier, tests: &[NdtTest], sites: &[TransitSite], title: &str) {
+pub fn print_fig8(
+    clf: &SignatureClassifier,
+    tests: &[NdtTest],
+    sites: &[TransitSite],
+    title: &str,
+) {
     println!("Figure 8 ({title}) — median throughput (Mbps) by classified class");
     println!(
         "  {:>11} {:>14} {:>14} {:>14} {:>14}",
@@ -308,13 +321,19 @@ mod tests {
         // At least one affected pair shows the jump.
         let mut jumps: Vec<f64> = Vec::new();
         for site in TransitSite::ALL.into_iter().filter(|s| s.is_cogent()) {
-            for isp in [AccessIsp::Comcast, AccessIsp::TimeWarner, AccessIsp::Verizon] {
+            for isp in [
+                AccessIsp::Comcast,
+                AccessIsp::TimeWarner,
+                AccessIsp::Verizon,
+            ] {
                 let get = |frame| {
                     bars.iter()
                         .find(|b| b.site == site && b.isp == isp && b.frame == frame)
                         .map(|b| b.frac_self)
                 };
-                if let (Some(a), Some(b)) = (get(Timeframe::JanFebPeak), get(Timeframe::MarAprOffPeak)) {
+                if let (Some(a), Some(b)) =
+                    (get(Timeframe::JanFebPeak), get(Timeframe::MarAprOffPeak))
+                {
                     if !a.is_nan() && !b.is_nan() {
                         jumps.push(b - a);
                     }

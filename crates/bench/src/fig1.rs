@@ -6,8 +6,9 @@
 //! tests per scenario. Self-induced flows should show a max−min close
 //! to the 100 ms buffer depth and clearly higher CoV.
 
+use csig_exec::{Campaign, Executor, ProgressEvent};
 use csig_netsim::rng::derive_seed;
-use csig_testbed::{run_test, AccessParams, Profile, TestbedConfig};
+use csig_testbed::{AccessParams, Profile, SweepScenario, TestResult};
 use serde::{Deserialize, Serialize};
 
 /// One flow's Figure-1 metrics.
@@ -28,34 +29,61 @@ pub struct Fig1Data {
     pub external: Vec<Fig1Point>,
 }
 
-/// Run the Figure-1 experiment with `reps` tests per scenario.
-pub fn run(reps: u32, profile: Profile, seed: u64) -> Fig1Data {
-    let mut data = Fig1Data::default();
+/// The Figure-1 campaign: `reps` tests per scenario on the figure-1
+/// access point, interleaved self/external. Each test keeps its bespoke
+/// seed `derive_seed(seed, rep << 1 | external)` from the original
+/// loop, so measurements are unchanged.
+pub fn campaign(reps: u32, profile: Profile, seed: u64) -> Campaign<SweepScenario> {
+    let mut campaign = Campaign::new(seed);
     for rep in 0..reps {
         for external in [false, true] {
-            let s = derive_seed(seed, (rep as u64) << 1 | external as u64);
-            let mut cfg = match profile {
-                Profile::Paper => TestbedConfig::paper(AccessParams::figure1(), s),
-                Profile::Scaled => TestbedConfig::scaled(AccessParams::figure1(), s),
+            campaign.push_seeded(
+                derive_seed(seed, (rep as u64) << 1 | external as u64),
+                SweepScenario {
+                    access: AccessParams::figure1(),
+                    external,
+                    profile,
+                },
+            );
+        }
+    }
+    campaign
+}
+
+/// Fold executor artifacts into the two Figure-1 point clouds.
+pub fn collect(results: &[TestResult]) -> Fig1Data {
+    let mut data = Fig1Data::default();
+    for r in results {
+        if let Ok(f) = &r.features {
+            let point = Fig1Point {
+                max_minus_min_ms: f.max_rtt_ms - f.min_rtt_ms,
+                cov: f.cov,
             };
-            if external {
-                cfg = cfg.externally_congested();
-            }
-            let r = run_test(&cfg);
-            if let Ok(f) = r.features {
-                let point = Fig1Point {
-                    max_minus_min_ms: f.max_rtt_ms - f.min_rtt_ms,
-                    cov: f.cov,
-                };
-                if external {
-                    data.external.push(point);
-                } else {
-                    data.self_induced.push(point);
-                }
+            if r.intended == csig_features::CongestionClass::External {
+                data.external.push(point);
+            } else {
+                data.self_induced.push(point);
             }
         }
     }
     data
+}
+
+/// Run the Figure-1 experiment with `reps` tests per scenario.
+pub fn run(reps: u32, profile: Profile, seed: u64) -> Fig1Data {
+    run_jobs(reps, profile, seed, 1, |_| {})
+}
+
+/// [`run`] on `jobs` workers (`0` = one per core); output is identical
+/// for every worker count.
+pub fn run_jobs<F: FnMut(ProgressEvent)>(
+    reps: u32,
+    profile: Profile,
+    seed: u64,
+    jobs: usize,
+    progress: F,
+) -> Fig1Data {
+    collect(&Executor::new(jobs).run_with_progress(&campaign(reps, profile, seed), progress))
 }
 
 /// Print the two CDFs as aligned percentile tables.
@@ -71,12 +99,22 @@ pub fn print(data: &Fig1Data) {
     println!("Figure 1a — max−min slow-start RTT (ms), CDF percentiles");
     println!("  {:>6} {:>10} {:>10}", "pct", "self", "external");
     for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
-        println!("  {:>5.0}% {:>10.1} {:>10.1}", p, pct(&smm, p), pct(&emm, p));
+        println!(
+            "  {:>5.0}% {:>10.1} {:>10.1}",
+            p,
+            pct(&smm, p),
+            pct(&emm, p)
+        );
     }
     println!("Figure 1b — slow-start RTT CoV, CDF percentiles");
     println!("  {:>6} {:>10} {:>10}", "pct", "self", "external");
     for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
-        println!("  {:>5.0}% {:>10.3} {:>10.3}", p, pct(&scov, p), pct(&ecov, p));
+        println!(
+            "  {:>5.0}% {:>10.3} {:>10.3}",
+            p,
+            pct(&scov, p),
+            pct(&ecov, p)
+        );
     }
     println!(
         "  n_self={} n_external={}",
@@ -95,7 +133,11 @@ mod tests {
         assert!(data.self_induced.len() >= 2);
         assert!(data.external.len() >= 2);
         let med = |v: Vec<f64>| csig_features::median(&v).unwrap();
-        let self_mm = med(data.self_induced.iter().map(|p| p.max_minus_min_ms).collect());
+        let self_mm = med(data
+            .self_induced
+            .iter()
+            .map(|p| p.max_minus_min_ms)
+            .collect());
         let ext_mm = med(data.external.iter().map(|p| p.max_minus_min_ms).collect());
         // Self-induced flows fill the ~100 ms buffer; external flows
         // see a much smaller swing.

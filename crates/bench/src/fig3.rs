@@ -3,19 +3,41 @@
 
 use csig_core::{threshold_sweep, ThresholdPoint};
 use csig_dtree::TreeParams;
+use csig_exec::ProgressEvent;
 use csig_features::CongestionClass;
-use csig_testbed::{small_grid, paper_grid, Profile, Sweep, TestResult};
+use csig_testbed::{paper_grid, small_grid, Profile, Sweep, TestResult};
 use serde::{Deserialize, Serialize};
 
-/// Run the grid sweep backing Figures 3 and 4.
-pub fn run_sweep(reps: u32, full_grid: bool, profile: Profile, seed: u64) -> Vec<TestResult> {
+/// The sweep specification backing Figures 3 and 4.
+pub fn sweep(reps: u32, full_grid: bool, profile: Profile, seed: u64) -> Sweep {
     Sweep {
-        grid: if full_grid { paper_grid() } else { small_grid() },
+        grid: if full_grid {
+            paper_grid()
+        } else {
+            small_grid()
+        },
         reps,
         profile,
         seed,
     }
-    .run(|_, _| {})
+}
+
+/// Run the grid sweep backing Figures 3 and 4 sequentially.
+pub fn run_sweep(reps: u32, full_grid: bool, profile: Profile, seed: u64) -> Vec<TestResult> {
+    sweep(reps, full_grid, profile, seed).run(|_, _| {})
+}
+
+/// [`run_sweep`] on `jobs` workers with a progress callback; results
+/// are byte-identical to the sequential run.
+pub fn run_sweep_jobs<F: FnMut(ProgressEvent)>(
+    reps: u32,
+    full_grid: bool,
+    profile: Profile,
+    seed: u64,
+    jobs: usize,
+    progress: F,
+) -> Vec<TestResult> {
+    sweep(reps, full_grid, profile, seed).run_jobs(jobs, progress)
 }
 
 /// The Figure-3 threshold sweep over pre-computed results.
@@ -34,8 +56,12 @@ pub fn print_fig3(points: &[ThresholdPoint]) {
     for p in points {
         println!(
             "  {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6}",
-            p.threshold, p.precision_self, p.recall_self, p.precision_external,
-            p.recall_external, p.n
+            p.threshold,
+            p.precision_self,
+            p.recall_self,
+            p.precision_external,
+            p.recall_external,
+            p.n
         );
     }
 }

@@ -117,8 +117,10 @@ pub fn run(clf: &SignatureClassifier, reps: u32, profile: Profile, seed: u64) ->
             accuracy_over(
                 clf,
                 (0..reps).map(|rep| {
-                    let mut cfg =
-                        mk(derive_seed(seed, 0xAC0000 | ((cross as u64) << 8) | rep as u64));
+                    let mut cfg = mk(derive_seed(
+                        seed,
+                        0xAC0000 | ((cross as u64) << 8) | rep as u64,
+                    ));
                     cfg.access_cross_flows = cross;
                     cfg
                 }),

@@ -38,17 +38,17 @@ pub fn print_fig6(out: &Tslp2017Output) {
         t = next;
     }
     println!("  (b) NDT throughput (Mbps)");
-    for test in out
-        .tests
-        .iter()
-        .filter(|t| t.at >= from && t.at < to)
-    {
+    for test in out.tests.iter().filter(|t| t.at >= from && t.at < to) {
         println!(
             "    day {:>5.2} {:>6.1} {}{}",
             test.at.as_secs_f64() / 86_400.0,
             test.measurement.throughput_mbps,
             bar(test.measurement.throughput_mbps, 25.0),
-            if test.during_episode { "  *episode*" } else { "" }
+            if test.during_episode {
+                "  *episode*"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -84,7 +84,11 @@ impl Tslp2017Accuracy {
 }
 
 /// Classify every labeled test of the campaign with `clf`.
-pub fn evaluate(clf: &SignatureClassifier, out: &Tslp2017Output, plan_mbps: u64) -> Tslp2017Accuracy {
+pub fn evaluate(
+    clf: &SignatureClassifier,
+    out: &Tslp2017Output,
+    plan_mbps: u64,
+) -> Tslp2017Accuracy {
     let mut acc = Tslp2017Accuracy {
         self_correct: 0,
         self_total: 0,
@@ -152,7 +156,11 @@ mod tests {
         let clf = testbed_model(5, 77);
         let acc = evaluate(&clf, &out, 25);
         assert!(acc.self_total >= 20, "self_total {}", acc.self_total);
-        assert!(acc.external_total >= 2, "external_total {}", acc.external_total);
+        assert!(
+            acc.external_total >= 2,
+            "external_total {}",
+            acc.external_total
+        );
         // Paper: self ≥ 99 %, external 75–85 %. Require the same order
         // of performance.
         assert!(

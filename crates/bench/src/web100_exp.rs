@@ -29,7 +29,11 @@ pub struct Web100Point {
 }
 
 /// Evaluate agreement at the given strides.
-pub fn run(clf: &SignatureClassifier, results: &[TestResult], strides: &[usize]) -> Vec<Web100Point> {
+pub fn run(
+    clf: &SignatureClassifier,
+    results: &[TestResult],
+    strides: &[usize],
+) -> Vec<Web100Point> {
     strides
         .iter()
         .map(|&stride| {
@@ -107,10 +111,7 @@ mod tests {
             );
             // Web100 mode must not trail trace mode by more than a few
             // points.
-            assert!(
-                p.web100_accuracy + 0.1 >= p.trace_accuracy,
-                "{p:?}"
-            );
+            assert!(p.web100_accuracy + 0.1 >= p.trace_accuracy, "{p:?}");
         }
     }
 }

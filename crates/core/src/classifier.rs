@@ -2,9 +2,7 @@
 //! contribution packaged as a library type.
 
 use csig_dtree::{ConfusionMatrix, Dataset, DecisionTree, TreeParams};
-use csig_features::{
-    features_from_samples, CongestionClass, FeatureError, FlowFeatures,
-};
+use csig_features::{features_from_samples, CongestionClass, FeatureError, FlowFeatures};
 use csig_trace::{detect_slow_start, extract_rtt_samples, FlowTrace, SlowStart};
 use serde::{Deserialize, Serialize};
 

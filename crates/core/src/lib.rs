@@ -64,7 +64,7 @@ pub use analysis::{analyze_capture, FlowReport};
 pub use classifier::{ModelMeta, SignatureClassifier, Verdict};
 pub use training::{
     dataset_at_threshold, ground_truth_accuracy, threshold_point, threshold_sweep,
-    train_from_results, GroundTruthAccuracy, ThresholdPoint,
+    train_from_results, train_sweep, GroundTruthAccuracy, ThresholdPoint,
 };
 pub use web100_mode::{classify_conn_stats, features_from_stats, slow_start_rtts_ms};
 
@@ -79,9 +79,24 @@ mod integration_tests {
 
     fn small_sweep(seed: u64, reps: u32) -> Vec<csig_testbed::TestResult> {
         let grid = vec![
-            AccessParams { rate_mbps: 10, loss_pct: 0.02, latency_ms: 20, buffer_ms: 50 },
-            AccessParams { rate_mbps: 20, loss_pct: 0.0, latency_ms: 20, buffer_ms: 100 },
-            AccessParams { rate_mbps: 50, loss_pct: 0.02, latency_ms: 40, buffer_ms: 50 },
+            AccessParams {
+                rate_mbps: 10,
+                loss_pct: 0.02,
+                latency_ms: 20,
+                buffer_ms: 50,
+            },
+            AccessParams {
+                rate_mbps: 20,
+                loss_pct: 0.0,
+                latency_ms: 20,
+                buffer_ms: 100,
+            },
+            AccessParams {
+                rate_mbps: 50,
+                loss_pct: 0.02,
+                latency_ms: 40,
+                buffer_ms: 50,
+            },
         ];
         Sweep {
             grid,

@@ -3,8 +3,9 @@
 
 use crate::classifier::{ModelMeta, SignatureClassifier};
 use csig_dtree::{ConfusionMatrix, Dataset, TreeParams};
+use csig_exec::ProgressEvent;
 use csig_features::CongestionClass;
-use csig_testbed::{build_dataset, TestResult};
+use csig_testbed::{build_dataset, Sweep, TestResult};
 use serde::{Deserialize, Serialize};
 
 /// Train a classifier from raw testbed results, applying the paper's
@@ -27,6 +28,22 @@ pub fn train_from_results(
         n_filtered: filtered,
     };
     Some(SignatureClassifier::train(&data, params, meta))
+}
+
+/// Run a sweep's campaign on `jobs` workers and train on the results:
+/// the testbed → executor → classifier path in one call. Returns the
+/// raw results alongside the model (None under the usual degenerate
+/// labelings) so callers can evaluate without re-running the sweep.
+pub fn train_sweep<F: FnMut(ProgressEvent)>(
+    sweep: &Sweep,
+    threshold: f64,
+    params: TreeParams,
+    jobs: usize,
+    progress: F,
+) -> (Vec<TestResult>, Option<SignatureClassifier>) {
+    let results = sweep.run_jobs(jobs, progress);
+    let model = train_from_results(&results, threshold, params);
+    (results, model)
 }
 
 /// Per-class precision/recall at one labeling threshold — one point of
@@ -217,12 +234,7 @@ mod tests {
     #[test]
     fn threshold_sweep_produces_points() {
         let results = synthetic_results(60);
-        let pts = threshold_sweep(
-            &results,
-            &[0.5, 0.6, 0.7, 0.8],
-            TreeParams::default(),
-            1,
-        );
+        let pts = threshold_sweep(&results, &[0.5, 0.6, 0.7, 0.8], TreeParams::default(), 1);
         assert_eq!(pts.len(), 4);
         for p in &pts {
             assert!(p.precision_self > 0.9, "{p:?}");

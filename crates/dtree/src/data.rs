@@ -142,7 +142,10 @@ impl Dataset {
                 .trim()
                 .parse()
                 .map_err(|e| format!("row {i}: bad label: {e}"))?;
-            data.push(feats.map_err(|e| format!("row {i}: bad feature: {e}"))?, label);
+            data.push(
+                feats.map_err(|e| format!("row {i}: bad feature: {e}"))?,
+                label,
+            );
         }
         Ok(data)
     }

@@ -20,11 +20,7 @@ impl ConfusionMatrix {
     pub fn from_labels(actual: &[usize], predicted: &[usize]) -> Self {
         assert_eq!(actual.len(), predicted.len(), "length mismatch");
         assert!(!actual.is_empty(), "no samples");
-        let k = actual
-            .iter()
-            .chain(predicted)
-            .max()
-            .map_or(1, |&m| m + 1);
+        let k = actual.iter().chain(predicted).max().map_or(1, |&m| m + 1);
         let mut counts = vec![vec![0usize; k]; k];
         for (&a, &p) in actual.iter().zip(predicted) {
             counts[a][p] += 1;

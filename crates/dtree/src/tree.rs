@@ -224,7 +224,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] < *threshold { *left } else { *right };
+                    node = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -240,7 +244,13 @@ impl DecisionTree {
                     let total: usize = counts.iter().sum();
                     return counts
                         .iter()
-                        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                        .map(|&c| {
+                            if total == 0 {
+                                0.0
+                            } else {
+                                c as f64 / total as f64
+                            }
+                        })
                         .collect();
                 }
                 Node::Split {
@@ -249,7 +259,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] < *threshold { *left } else { *right };
+                    node = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -326,9 +340,7 @@ impl DecisionTree {
     fn node_samples(&self, at: usize) -> usize {
         match &self.nodes[at] {
             Node::Leaf { counts, .. } => counts.iter().sum(),
-            Node::Split { left, right, .. } => {
-                self.node_samples(*left) + self.node_samples(*right)
-            }
+            Node::Split { left, right, .. } => self.node_samples(*left) + self.node_samples(*right),
         }
     }
 

@@ -1,0 +1,199 @@
+//! Shared command-line entry point for the experiment binaries.
+//!
+//! Every `fig*`/`exp_*` binary and the root `csig` CLI parse the same
+//! execution flags through [`CommonArgs`]:
+//!
+//! * `--jobs N` — worker count for campaign execution (`0` or absent
+//!   means one worker per available core). Results are byte-identical
+//!   for every worker count; `--jobs` only changes wall-clock.
+//! * `--seed S` — override the experiment's default master seed.
+//! * `--paper` — run the full paper fidelity profile instead of the
+//!   scaled one (interpreted by the binary; this module only parses).
+//! * `--progress` — verbose per-scenario completion lines (index,
+//!   elapsed, worker) instead of the default sparse `done/total` ones.
+//!
+//! Experiment-specific flags and positionals stay with the binary;
+//! the accessor helpers here ([`CommonArgs::flag_value`],
+//! [`CommonArgs::positional_parsed`], …) keep their parsing uniform.
+
+use std::str::FromStr;
+
+use crate::{Executor, ProgressEvent};
+
+/// Parsed common flags plus the raw argument list.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    args: Vec<String>,
+    /// Worker count (`0` = one per core; resolved by [`Executor::new`]).
+    pub jobs: usize,
+    /// Master-seed override.
+    pub seed: Option<u64>,
+    /// Paper-fidelity profile requested.
+    pub paper: bool,
+    /// Verbose per-scenario progress requested.
+    pub progress: bool,
+}
+
+impl CommonArgs {
+    /// Parse from the process arguments (skipping the program name).
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parse from an explicit argument vector.
+    pub fn from_vec(args: Vec<String>) -> Self {
+        let mut parsed = CommonArgs {
+            args,
+            jobs: 0,
+            seed: None,
+            paper: false,
+            progress: false,
+        };
+        if let Some(v) = parsed.flag_value("--jobs") {
+            parsed.jobs = v.parse().unwrap_or_else(|_| {
+                eprintln!("warning: bad --jobs value `{v}`, using all cores");
+                0
+            });
+        }
+        parsed.seed = parsed.flag_value("--seed").and_then(|v| v.parse().ok());
+        parsed.paper = parsed.has_flag("--paper");
+        parsed.progress = parsed.has_flag("--progress");
+        parsed
+    }
+
+    /// An executor sized by `--jobs`.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs)
+    }
+
+    /// The `--seed` override, or the experiment's default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The value following `flag`, if present.
+    pub fn flag_value(&self, flag: &str) -> Option<&String> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+    }
+
+    /// Whether `flag` appears.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// Parse the value of `flag`, erroring on malformed input and
+    /// returning `None` when absent.
+    pub fn parsed_flag<T: FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.flag_value(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {flag} value `{v}`")),
+        }
+    }
+
+    /// Positional arguments: everything that is not a flag or the value
+    /// of the flag preceding it.
+    pub fn positionals(&self) -> impl Iterator<Item = &String> {
+        self.args.iter().enumerate().filter_map(|(i, a)| {
+            if a.starts_with("--") {
+                return None;
+            }
+            match i.checked_sub(1).and_then(|j| self.args.get(j)) {
+                Some(prev) if prev.starts_with("--") && takes_value(prev) => None,
+                _ => Some(a),
+            }
+        })
+    }
+
+    /// The first positional argument.
+    pub fn positional(&self) -> Option<&String> {
+        self.positionals().next()
+    }
+
+    /// The first positional that parses as `T`, or `default`.
+    pub fn positional_parsed<T: FromStr>(&self, default: T) -> T {
+        self.positionals()
+            .find_map(|a| a.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A progress printer for campaign runs: with `--progress`, one
+    /// line per completed scenario (index, elapsed, worker); otherwise
+    /// a sparse `done/total` line every `every` completions.
+    pub fn progress_printer(&self, every: usize) -> impl FnMut(ProgressEvent) {
+        let verbose = self.progress;
+        move |e: ProgressEvent| {
+            if verbose {
+                eprintln!(
+                    "  [{:>6.1}s] scenario {:>4} done ({}/{}, worker {})",
+                    e.elapsed.as_secs_f64(),
+                    e.index,
+                    e.done,
+                    e.total,
+                    e.worker
+                );
+            } else if every > 0 && (e.done.is_multiple_of(every) || e.done == e.total) {
+                eprintln!("  {}/{}", e.done, e.total);
+            }
+        }
+    }
+}
+
+/// Flags whose next argument is a value, not a positional. Keeping this
+/// list in one place is what lets `positionals()` skip values reliably
+/// across all binaries.
+fn takes_value(flag: &str) -> bool {
+    !matches!(
+        flag,
+        "--paper" | "--progress" | "--full-grid" | "--raw" | "--external"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> CommonArgs {
+        CommonArgs::from_vec(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn common_flags_parse() {
+        let a = args(&["7", "--jobs", "4", "--seed", "99", "--paper", "--progress"]);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.seed, Some(99));
+        assert!(a.paper && a.progress);
+        assert_eq!(a.positional_parsed(0u32), 7);
+    }
+
+    #[test]
+    fn defaults_when_absent() {
+        let a = args(&[]);
+        assert_eq!(a.jobs, 0);
+        assert_eq!(a.seed_or(42), 42);
+        assert!(!a.paper && !a.progress);
+        assert_eq!(a.positional_parsed(5u32), 5);
+    }
+
+    #[test]
+    fn flag_values_are_not_positionals() {
+        // `fig3 --jobs 4` must not read `4` as the reps positional.
+        let a = args(&["--jobs", "4"]);
+        assert_eq!(a.positional_parsed(5u32), 5);
+        // …but boolean flags don't swallow the next argument.
+        let b = args(&["--paper", "3"]);
+        assert_eq!(b.positional_parsed(5u32), 3);
+    }
+
+    #[test]
+    fn parsed_flag_reports_errors() {
+        let a = args(&["--reps", "x"]);
+        assert!(a.parsed_flag::<u32>("--reps").is_err());
+        assert_eq!(a.parsed_flag::<u32>("--threshold").unwrap(), None);
+    }
+}

@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn degenerate_rtts_rejected() {
         let rtts = vec![0.0; MIN_SAMPLES];
-        assert_eq!(features_from_rtts_ms(&rtts), Err(FeatureError::DegenerateRtt));
+        assert_eq!(
+            features_from_rtts_ms(&rtts),
+            Err(FeatureError::DegenerateRtt)
+        );
     }
 
     #[test]
@@ -221,8 +224,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(FeatureError::TooFewSamples { got: 3 }.to_string().contains("3"));
-        assert!(FeatureError::DegenerateRtt.to_string().contains("degenerate"));
+        assert!(FeatureError::TooFewSamples { got: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(FeatureError::DegenerateRtt
+            .to_string()
+            .contains("degenerate"));
     }
 
     proptest! {

@@ -19,8 +19,9 @@
 
 use crate::isp::{AccessIsp, Month, TransitSite};
 use crate::ndt::{run_ndt, CongestedState, NdtMeasurement, NdtPath};
+use csig_exec::{Campaign, Executor, ProgressEvent, Scenario};
 use csig_features::CongestionClass;
-use csig_netsim::rng::{derive_seed, stream_rng};
+use csig_netsim::rng::stream_rng;
 use csig_netsim::SimDuration;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -85,7 +86,7 @@ fn congestion_probability(hour: u8) -> f64 {
 
 /// Sample an hour of day weighted by the diurnal usage curve.
 fn sample_hour<R: Rng>(rng: &mut R) -> u8 {
-    let weights: Vec<f64> = (0..24).map(|h| diurnal_load(h)).collect();
+    let weights: Vec<f64> = (0..24).map(diurnal_load).collect();
     let total: f64 = weights.iter().sum();
     let mut x = rng.gen::<f64>() * total;
     for (h, w) in weights.iter().enumerate() {
@@ -97,45 +98,76 @@ fn sample_hour<R: Rng>(rng: &mut R) -> u8 {
     23
 }
 
-/// Generate the campaign: every cell of (site × ISP × month) gets
-/// `tests_per_cell` simulated tests.
-pub fn generate(cfg: &Dispute2014Config) -> Vec<NdtTest> {
-    generate_with_progress(cfg, |_, _| {})
+/// One scheduled Dispute2014 NDT test as a self-contained [`Scenario`]:
+/// a (site, ISP, month) cell slot whose client-side variation (hour,
+/// plan, home buffer, congestion draw) all derives from its seed.
+#[derive(Debug, Clone, Copy)]
+pub struct NdtScenario {
+    /// M-Lab server site.
+    pub site: TransitSite,
+    /// Client's access ISP.
+    pub isp: AccessIsp,
+    /// Month of the test.
+    pub month: Month,
+    /// NDT test duration.
+    pub duration: SimDuration,
 }
 
-/// [`generate`] with a progress callback `(done, total)`.
-pub fn generate_with_progress<F: FnMut(usize, usize)>(
-    cfg: &Dispute2014Config,
-    mut progress: F,
-) -> Vec<NdtTest> {
-    let total = TransitSite::ALL.len() * AccessIsp::ALL.len() * Month::ALL.len()
-        * cfg.tests_per_cell as usize;
-    let mut tests = Vec::with_capacity(total);
-    let mut tag = 0u64;
+impl Scenario for NdtScenario {
+    type Artifact = NdtTest;
+
+    fn run(&self, seed: u64) -> NdtTest {
+        let mut rng = stream_rng(seed, 0);
+        run_one(self, seed, &mut rng)
+    }
+}
+
+/// The generation campaign: every cell of (site × ISP × month) gets
+/// `tests_per_cell` scenarios, in cell order. Scenario order matches
+/// the original inline loop's 1-based tag scheme, so every per-test
+/// seed — and thus every measurement — is unchanged.
+pub fn campaign(cfg: &Dispute2014Config) -> Campaign<NdtScenario> {
+    let mut campaign = Campaign::new(cfg.seed);
     for site in TransitSite::ALL {
         for isp in AccessIsp::ALL {
             for month in Month::ALL {
                 for _ in 0..cfg.tests_per_cell {
-                    tag += 1;
-                    let seed = derive_seed(cfg.seed, tag);
-                    let mut rng = stream_rng(seed, 0);
-                    tests.push(run_one(cfg, site, isp, month, seed, &mut rng));
-                    progress(tests.len(), total);
+                    campaign.push(NdtScenario {
+                        site,
+                        isp,
+                        month,
+                        duration: cfg.test_duration,
+                    });
                 }
             }
         }
     }
-    tests
+    campaign
 }
 
-fn run_one<R: Rng>(
+/// Generate the campaign sequentially: every cell of (site × ISP ×
+/// month) gets `tests_per_cell` simulated tests.
+pub fn generate(cfg: &Dispute2014Config) -> Vec<NdtTest> {
+    generate_jobs(cfg, 1, |_| {})
+}
+
+/// [`generate`] on `jobs` workers (`0` = one per core) with a progress
+/// callback. Results are byte-identical for every worker count.
+pub fn generate_jobs<F: FnMut(ProgressEvent)>(
     cfg: &Dispute2014Config,
-    site: TransitSite,
-    isp: AccessIsp,
-    month: Month,
-    seed: u64,
-    rng: &mut R,
-) -> NdtTest {
+    jobs: usize,
+    progress: F,
+) -> Vec<NdtTest> {
+    Executor::new(jobs).run_with_progress(&campaign(cfg), progress)
+}
+
+fn run_one<R: Rng>(scenario: &NdtScenario, seed: u64, rng: &mut R) -> NdtTest {
+    let NdtScenario {
+        site,
+        isp,
+        month,
+        duration,
+    } = *scenario;
     let hour = sample_hour(rng);
     let plan_mbps = isp.sample_plan(rng);
 
@@ -167,7 +199,7 @@ fn run_one<R: Rng>(
         interconnect_mbps: 200,
         interconnect_buffer_ms: 25,
         congestion,
-        duration: cfg.test_duration,
+        duration,
         seed,
     };
     NdtTest {
@@ -382,7 +414,10 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.hour, y.hour);
             assert_eq!(x.plan_mbps, y.plan_mbps);
-            assert_eq!(x.measurement.throughput.bytes_acked, y.measurement.throughput.bytes_acked);
+            assert_eq!(
+                x.measurement.throughput.bytes_acked,
+                y.measurement.throughput.bytes_acked
+            );
         }
     }
 }

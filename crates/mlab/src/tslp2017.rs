@@ -16,6 +16,7 @@
 //!    congested when they fall inside an episode.
 
 use crate::ndt::{run_ndt, CongestedState, NdtMeasurement, NdtPath};
+use csig_exec::{Campaign, Executor, ProgressEvent, Scenario};
 use csig_features::CongestionClass;
 use csig_netsim::rng::{derive_seed, stream_rng};
 use csig_netsim::{FlowId, LinkConfig, NodeId, SimDuration, SimTime, Simulator};
@@ -165,7 +166,11 @@ fn run_probe_campaign(
     )));
     let near = sim.add_router();
     let far = sim.add_router();
-    sim.add_duplex_link(client, near, LinkConfig::new(100_000_000, ms(CLIENT_NEAR_MS)));
+    sim.add_duplex_link(
+        client,
+        near,
+        LinkConfig::new(100_000_000, ms(CLIENT_NEAR_MS)),
+    );
     let idle = LinkConfig::new(200_000_000, ms(NEAR_FAR_MS)).buffer_ms(15);
     let (nf, _fn_) = sim.add_duplex_link(near, far, idle.clone());
     sim.compute_routes();
@@ -210,42 +215,81 @@ pub fn test_schedule(cfg: &Tslp2017Config) -> Vec<SimTime> {
     times
 }
 
-/// Run the full campaign.
-pub fn run_campaign(cfg: &Tslp2017Config) -> Tslp2017Output {
-    run_campaign_with_progress(cfg, |_, _| {})
+/// One scheduled TSLP2017 NDT test as a self-contained [`Scenario`]:
+/// the campaign-time slot plus the episode state (if any) it falls in.
+#[derive(Debug, Clone, Copy)]
+pub struct TslpNdtScenario {
+    /// Campaign time the test starts.
+    pub at: SimTime,
+    /// The episode state covering `at`, if any.
+    pub episode: Option<CongestedState>,
+    /// Subscriber plan, Mbit/s.
+    pub plan_mbps: u64,
+    /// NDT test duration.
+    pub duration: SimDuration,
 }
 
-/// [`run_campaign`] with a progress callback over the NDT tests.
-pub fn run_campaign_with_progress<F: FnMut(usize, usize)>(
-    cfg: &Tslp2017Config,
-    mut progress: F,
-) -> Tslp2017Output {
-    let episodes = build_schedule(cfg);
-    let (near, far) = run_probe_campaign(cfg, &episodes);
+impl Scenario for TslpNdtScenario {
+    type Artifact = TslpNdtTest;
 
-    let times = test_schedule(cfg);
-    let total = times.len();
-    let mut tests = Vec::with_capacity(total);
-    for (i, &at) in times.iter().enumerate() {
-        let episode = episodes.iter().find(|e| e.contains(at));
+    fn run(&self, seed: u64) -> TslpNdtTest {
         let path = NdtPath {
-            plan_mbps: cfg.plan_mbps,
+            plan_mbps: self.plan_mbps,
             access_buffer_ms: 20, // the paper's small-buffer worst case
             access_latency_ms: CLIENT_NEAR_MS,
             server_one_way_ms: NEAR_FAR_MS,
             interconnect_mbps: 200,
             interconnect_buffer_ms: 15,
-            congestion: episode.map(|e| e.state),
-            duration: cfg.test_duration,
-            seed: derive_seed(cfg.seed, 0x7E57 + i as u64),
+            congestion: self.episode,
+            duration: self.duration,
+            seed,
         };
-        tests.push(TslpNdtTest {
-            at,
-            during_episode: episode.is_some(),
+        TslpNdtTest {
+            at: self.at,
+            during_episode: self.episode.is_some(),
             measurement: run_ndt(&path),
-        });
-        progress(i + 1, total);
+        }
     }
+}
+
+/// The NDT half of the campaign over a prebuilt episode schedule. The
+/// i-th test keeps its bespoke seed `derive_seed(cfg.seed, 0x7E57 + i)`
+/// from the original loop, so measurements are unchanged.
+pub fn ndt_campaign(cfg: &Tslp2017Config, episodes: &[EpisodeWindow]) -> Campaign<TslpNdtScenario> {
+    let mut campaign = Campaign::new(cfg.seed);
+    for (i, at) in test_schedule(cfg).into_iter().enumerate() {
+        let episode = episodes.iter().find(|e| e.contains(at));
+        campaign.push_seeded(
+            derive_seed(cfg.seed, 0x7E57 + i as u64),
+            TslpNdtScenario {
+                at,
+                episode: episode.map(|e| e.state),
+                plan_mbps: cfg.plan_mbps,
+                duration: cfg.test_duration,
+            },
+        );
+    }
+    campaign
+}
+
+/// Run the full campaign sequentially.
+pub fn run_campaign(cfg: &Tslp2017Config) -> Tslp2017Output {
+    run_campaign_jobs(cfg, 1, |_| {})
+}
+
+/// [`run_campaign`] with the NDT tests spread over `jobs` workers
+/// (`0` = one per core) and a progress callback over them. The
+/// continuous probing simulation is one coupled system and stays
+/// sequential; only the independent NDT micro-simulations parallelize.
+/// Output is byte-identical for every worker count.
+pub fn run_campaign_jobs<F: FnMut(ProgressEvent)>(
+    cfg: &Tslp2017Config,
+    jobs: usize,
+    progress: F,
+) -> Tslp2017Output {
+    let episodes = build_schedule(cfg);
+    let (near, far) = run_probe_campaign(cfg, &episodes);
+    let tests = Executor::new(jobs).run_with_progress(&ndt_campaign(cfg, &episodes), progress);
 
     Tslp2017Output {
         near,

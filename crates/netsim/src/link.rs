@@ -592,7 +592,7 @@ mod tests {
                     while let ServiceOutcome::Deliver {
                         next_service: Some(_),
                         ..
-                    } = l.service(SimTime::from_secs(i as u64 + 1), &mut rng)
+                    } = l.service(SimTime::from_secs(i + 1), &mut rng)
                     {
                         l.clear_service_pending();
                     }

@@ -13,19 +13,14 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Admission policy selector for a link buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum QueueKind {
     /// Plain drop-tail: admit while total queued bytes stay within
     /// capacity, else drop.
+    #[default]
     DropTail,
     /// Random Early Detection with the given parameters.
     Red(RedParams),
-}
-
-impl Default for QueueKind {
-    fn default() -> Self {
-        QueueKind::DropTail
-    }
 }
 
 /// RED parameters (Floyd & Jacobson 1993), with thresholds expressed as
@@ -168,7 +163,11 @@ impl LinkQueue {
                 let pb = params.max_p * (self.red_avg - min_b) / (max_b - min_b);
                 // Spread drops: pa = pb / (1 - count * pb), per the RED paper.
                 let denom = 1.0 - self.red_count as f64 * pb;
-                let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+                let pa = if denom <= 0.0 {
+                    1.0
+                } else {
+                    (pb / denom).min(1.0)
+                };
                 if rng.gen::<f64>() < pa {
                     self.red_count = 0;
                     return EnqueueResult::DroppedEarly;

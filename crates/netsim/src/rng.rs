@@ -47,7 +47,9 @@ mod tests {
     fn different_streams_differ() {
         let mut a = stream_rng(42, 7);
         let mut b = stream_rng(42, 8);
-        let same = (0..100).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..100)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -62,10 +62,12 @@ mod tests {
 
     #[test]
     fn derived_quantities() {
-        let mut s = LinkStats::default();
-        s.offered_pkts = 10;
-        s.dropped_loss = 1;
-        s.dropped_full = 2;
+        let mut s = LinkStats {
+            offered_pkts: 10,
+            dropped_loss: 1,
+            dropped_full: 2,
+            ..Default::default()
+        };
         s.record_delivery(1500, SimDuration::from_millis(2));
         s.record_delivery(1500, SimDuration::from_millis(4));
         assert_eq!(s.dropped_total(), 3);

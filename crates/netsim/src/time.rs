@@ -12,11 +12,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant on the simulated clock, in nanoseconds since the
 /// start of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -357,7 +361,10 @@ mod tests {
     fn duration_clamp_and_ordering() {
         let lo = SimDuration::from_millis(1);
         let hi = SimDuration::from_millis(10);
-        assert_eq!(SimDuration::from_millis(5).clamp(lo, hi), SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(5).clamp(lo, hi),
+            SimDuration::from_millis(5)
+        );
         assert_eq!(SimDuration::ZERO.clamp(lo, hi), lo);
         assert_eq!(SimDuration::from_secs(1).clamp(lo, hi), hi);
     }
@@ -370,13 +377,19 @@ mod tests {
             SimDuration::from_millis(1)
         );
         // 1 byte at 8 Gbps = 1 ns.
-        assert_eq!(transmission_time(1, 8_000_000_000), SimDuration::from_nanos(1));
+        assert_eq!(
+            transmission_time(1, 8_000_000_000),
+            SimDuration::from_nanos(1)
+        );
     }
 
     #[test]
     fn transmission_time_rounds_up() {
         // 1 byte at 9 Gbps is slightly under 1 ns; must round up to 1.
-        assert_eq!(transmission_time(1, 9_000_000_000), SimDuration::from_nanos(1));
+        assert_eq!(
+            transmission_time(1, 9_000_000_000),
+            SimDuration::from_nanos(1)
+        );
         assert_eq!(transmission_time(0, 1_000), SimDuration::ZERO);
     }
 
@@ -388,7 +401,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_and_clamps() {
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
     }
 

@@ -4,7 +4,10 @@ use csig_tcp::*;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x50A6);
     let mut stalls = 0;
     for i in 0..n {
@@ -14,16 +17,37 @@ fn main() {
         let buf = rng.gen_range(5u64..200);
         let loss = rng.gen_range(0u32..50); // up to 5%
         let jitter = rng.gen_range(0u64..4);
-        let cc = match i % 3 { 0 => CcKind::NewReno, 1 => CcKind::Cubic, _ => CcKind::BbrLite };
+        let cc = match i % 3 {
+            0 => CcKind::NewReno,
+            1 => CcKind::Cubic,
+            _ => CcKind::BbrLite,
+        };
         let sack = i % 2 == 0;
-        let mut cfg = TcpConfig { cc, sack, ..TcpConfig::default() };
+        let mut cfg = TcpConfig {
+            cc,
+            sack,
+            ..TcpConfig::default()
+        };
         cfg.delayed_ack = i % 5 == 0;
         let mut sim = Simulator::new(i);
-        let server = sim.add_host(Box::new(TcpServerAgent::new(cfg.clone(), ServerSendPolicy::Fixed(size))));
-        let client = sim.add_host(Box::new(TcpClientAgent::new(server, cfg, ClientBehavior::Once, 42)));
-        sim.add_duplex_link(server, client,
+        let server = sim.add_host(Box::new(TcpServerAgent::new(
+            cfg.clone(),
+            ServerSendPolicy::Fixed(size),
+        )));
+        let client = sim.add_host(Box::new(TcpClientAgent::new(
+            server,
+            cfg,
+            ClientBehavior::Once,
+            42,
+        )));
+        sim.add_duplex_link(
+            server,
+            client,
             LinkConfig::new(rate * 1_000_000, SimDuration::from_millis(delay))
-                .buffer_ms(buf).loss(loss as f64 / 1000.0).jitter(SimDuration::from_millis(jitter)));
+                .buffer_ms(buf)
+                .loss(loss as f64 / 1000.0)
+                .jitter(SimDuration::from_millis(jitter)),
+        );
         sim.compute_routes();
         sim.set_event_budget(200_000_000);
         let mut stop = sim.run_until(SimTime::from_secs(180));

@@ -132,10 +132,8 @@ impl CongestionControl for BbrLite {
         self.round_delivered += info.bytes_acked;
         match (self.round_start, info.srtt) {
             (None, _) => self.round_start = Some(info.now),
-            (Some(start), Some(srtt)) => {
-                if info.now.saturating_since(start) >= srtt {
-                    self.end_round(info.now);
-                }
+            (Some(start), Some(srtt)) if info.now.saturating_since(start) >= srtt => {
+                self.end_round(info.now);
             }
             _ => {}
         }

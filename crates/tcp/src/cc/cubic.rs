@@ -90,12 +90,11 @@ impl CongestionControl for Cubic {
         let target = C * (t - self.k).powi(3) + self.w_max;
         let w = self.cwnd_mss();
         // TCP-friendly Reno estimate: grows ~1 MSS per RTT.
-        if let Some(srtt) = info.srtt {
-            let rtt = srtt.as_secs_f64().max(1e-4);
+        if info.srtt.is_some() {
+            // Per-ACK increment ≈ friendly-rate share.
             self.w_est += (3.0 * (1.0 - BETA) / (1.0 + BETA))
                 * (info.bytes_acked as f64 / self.mss as f64)
-                / (w.max(1.0))
-                * (rtt / rtt); // per-ACK increment ≈ friendly-rate share
+                / (w.max(1.0));
         }
         let goal = target.max(self.w_est);
         if goal > w {

@@ -19,8 +19,7 @@ use crate::cc::{AckInfo, CcKind, CongestionControl};
 use crate::rtt::RttEstimator;
 use crate::seq::{offset_of, wire_seq};
 use csig_netsim::{
-    Ctx, FlowId, NodeId, PacketSpec, SimDuration, SimTime, TcpFlags, TcpHeader, TimerToken,
-    NO_SACK,
+    Ctx, FlowId, NodeId, PacketSpec, SimDuration, SimTime, TcpFlags, TcpHeader, TimerToken, NO_SACK,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -311,7 +310,8 @@ impl TcpConnection {
 
     /// In-order payload bytes delivered so far.
     pub fn bytes_received(&self) -> u64 {
-        self.rcv_nxt.min(self.peer_fin_offset.unwrap_or(self.rcv_nxt))
+        self.rcv_nxt
+            .min(self.peer_fin_offset.unwrap_or(self.rcv_nxt))
     }
 
     /// Diagnostic snapshot of sender-side state (debugging aid).
@@ -353,9 +353,8 @@ impl TcpConnection {
             return;
         }
         self.app_avail += bytes;
-        match &mut self.app_limit {
-            Some(limit) => *limit += bytes,
-            None => {}
+        if let Some(limit) = &mut self.app_limit {
+            *limit += bytes;
         }
         self.try_send(ctx);
     }
@@ -581,8 +580,12 @@ impl TcpConnection {
             debug_assert!(
                 self.app_limit.is_none() || data_off <= self.app_limit.unwrap_or(u64::MAX),
                 "snd_una {} beyond app_limit {:?} (ack_off {}, fin q/s/a {}{}{})",
-                data_off, self.app_limit, ack_off,
-                self.fin_queued as u8, self.fin_sent as u8, self.fin_acked as u8
+                data_off,
+                self.app_limit,
+                ack_off,
+                self.fin_queued as u8,
+                self.fin_sent as u8,
+                self.fin_acked as u8
             );
             self.snd_una = data_off;
             // After a go-back-N restart the cumulative ACK can jump past
@@ -684,11 +687,9 @@ impl TcpConnection {
             self.peer_fin_offset = Some(payload_end);
         }
         let in_order = start <= self.rcv_nxt;
-        if payload_end > self.rcv_nxt {
-            if hdr.payload_len > 0 {
-                self.insert_ooo(start.max(self.rcv_nxt), payload_end);
-                self.drain_in_order();
-            }
+        if payload_end > self.rcv_nxt && hdr.payload_len > 0 {
+            self.insert_ooo(start.max(self.rcv_nxt), payload_end);
+            self.drain_in_order();
         }
         // FIN consumes its own sequence position once payload is complete.
         let fin_consumed = match self.peer_fin_offset {
@@ -863,7 +864,8 @@ impl TcpConnection {
             }
             let offset = self.snd_nxt;
             let is_rexmit = offset < self.high_water;
-            let fin_here = self.fin_queued && offset + len as u64 == self.app_limit.unwrap_or(u64::MAX);
+            let fin_here =
+                self.fin_queued && offset + len as u64 == self.app_limit.unwrap_or(u64::MAX);
             let hdr = TcpHeader {
                 seq: wire_seq(self.iss.wrapping_add(1), offset),
                 ack: wire_seq(self.irs.wrapping_add(1), self.rcv_nxt),

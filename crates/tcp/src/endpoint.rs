@@ -205,11 +205,11 @@ pub struct FetchRecord {
     pub bytes: u64,
 }
 
-/// Local value marking the client's "open next connection" alarm. The
-/// full token is tagged with the top flow id of the client's block
-/// (`flow_base | 0xFFFF`), which no real connection uses as long as a
-/// client opens fewer than 65 535 connections — so composite agents can
-/// route the timer back to the right client by flow block.
+// The client's "open next connection" alarm token is tagged with the
+// top flow id of the client's block (`flow_base | 0xFFFF`), which no
+// real connection uses as long as a client opens fewer than 65 535
+// connections — so composite agents can route the timer back to the
+// right client by flow block.
 
 /// A downloading TCP client.
 pub struct TcpClientAgent {

@@ -215,7 +215,10 @@ mod integration_tests {
             .filter(|f| f.finished.is_some())
             .map(|f| f.bytes)
             .collect();
-        assert!(sizes.contains(&10_000) && sizes.contains(&50_000), "{sizes:?}");
+        assert!(
+            sizes.contains(&10_000) && sizes.contains(&50_000),
+            "{sizes:?}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use csig_tcp::{
 use proptest::prelude::*;
 
 /// Build and run a single transfer over one configurable duplex link.
+#[allow(clippy::too_many_arguments)]
 fn transfer(
     size: u64,
     rate_mbps: u64,
@@ -88,7 +89,7 @@ proptest! {
         prop_assert_eq!(stats.bytes_acked, size);
         // Liveness bound: finished within the 120 s horizon already
         // implied by Drained; also sanity-check the counters.
-        prop_assert!(stats.segments_sent as u64 >= size / 1448);
+        prop_assert!(stats.segments_sent >= size / 1448);
     }
 
     /// CUBIC obeys the same contract.
@@ -133,10 +134,12 @@ proptest! {
 #[test]
 fn survives_heavy_loss() {
     for seed in [1u64, 2, 3] {
-        let (received, stats, stop) =
-            transfer(100_000, 10, 20, 60, 0.05, 2, CcKind::NewReno, seed);
+        let (received, stats, stop) = transfer(100_000, 10, 20, 60, 0.05, 2, CcKind::NewReno, seed);
         assert_eq!(stop, StopReason::Drained, "seed {seed} did not finish");
         assert_eq!(received, 100_000, "seed {seed} lost bytes");
-        assert!(stats.retransmits > 0, "seed {seed}: no retransmissions at 5% loss?");
+        assert!(
+            stats.retransmits > 0,
+            "seed {seed}: no retransmissions at 5% loss?"
+        );
     }
 }

@@ -117,7 +117,11 @@ impl Agent for CbrAgent {
         if ctx.now() > self.stop {
             return;
         }
-        ctx.send(PacketSpec::background(self.flow, self.dst, self.packet_size));
+        ctx.send(PacketSpec::background(
+            self.flow,
+            self.dst,
+            self.packet_size,
+        ));
         self.sent += 1;
         ctx.set_timer(self.interval(), 0);
     }
@@ -146,7 +150,11 @@ mod tests {
             SimTime::from_millis(100),
         )));
         let dst = sim.add_host(Box::new(SinkAgent::default()));
-        sim.add_duplex_link(src, dst, LinkConfig::new(100_000_000, SimDuration::from_millis(1)));
+        sim.add_duplex_link(
+            src,
+            dst,
+            LinkConfig::new(100_000_000, SimDuration::from_millis(1)),
+        );
         sim.compute_routes();
         sim.run_until(SimTime::from_millis(200));
         let sink: &SinkAgent = sim.agent(dst).unwrap();

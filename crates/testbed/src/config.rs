@@ -147,7 +147,11 @@ impl TestbedConfig {
     /// Builder: use the profile's default external congestion — 100
     /// `TGcong` flows under the paper profile, 20 under the scaled one.
     pub fn externally_congested(self) -> Self {
-        let flows = if self.interconnect_mbps >= 900 { 100 } else { 40 };
+        let flows = if self.interconnect_mbps >= 900 {
+            100
+        } else {
+            40
+        };
         self.with_congestion(CongestionMode::TgCong { flows })
     }
 

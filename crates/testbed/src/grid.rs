@@ -2,17 +2,30 @@
 
 use crate::config::{AccessParams, TestbedConfig};
 use crate::runner::{run_test, TestResult};
-use csig_netsim::rng::derive_seed;
+use csig_exec::{Campaign, Executor, ProgressEvent, Scenario};
 use serde::{Deserialize, Serialize};
+
+/// Canonical §3.1 grid axes. Every grid in the workspace is built from
+/// these values; do not restate the literals elsewhere.
+pub mod axes {
+    /// Access-link rates, Mbit/s.
+    pub const RATES_MBPS: [u64; 3] = [10, 20, 50];
+    /// Random-loss rates, percent.
+    pub const LOSSES_PCT: [f64; 2] = [0.02, 0.05];
+    /// Added last-mile latencies, ms.
+    pub const LATENCIES_MS: [u64; 2] = [20, 40];
+    /// Access buffer depths, ms.
+    pub const BUFFERS_MS: [u64; 3] = [20, 50, 100];
+}
 
 /// The §3.1 access-link grid: rate {10, 20, 50} Mbps × loss
 /// {0.02, 0.05} % × latency {20, 40} ms × buffer {20, 50, 100} ms.
 pub fn paper_grid() -> Vec<AccessParams> {
     let mut grid = Vec::new();
-    for &rate_mbps in &[10u64, 20, 50] {
-        for &loss_pct in &[0.02f64, 0.05] {
-            for &latency_ms in &[20u64, 40] {
-                for &buffer_ms in &[20u64, 50, 100] {
+    for &rate_mbps in &axes::RATES_MBPS {
+        for &loss_pct in &axes::LOSSES_PCT {
+            for &latency_ms in &axes::LATENCIES_MS {
+                for &buffer_ms in &axes::BUFFERS_MS {
                     grid.push(AccessParams {
                         rate_mbps,
                         loss_pct,
@@ -26,15 +39,16 @@ pub fn paper_grid() -> Vec<AccessParams> {
     grid
 }
 
-/// A compact grid (one loss/latency point) for quick runs and tests.
+/// A compact grid for quick runs and tests: the first loss/latency
+/// point of the paper axes, over all rates and buffers.
 pub fn small_grid() -> Vec<AccessParams> {
     let mut grid = Vec::new();
-    for &rate_mbps in &[10u64, 20, 50] {
-        for &buffer_ms in &[20u64, 50, 100] {
+    for &rate_mbps in &axes::RATES_MBPS {
+        for &buffer_ms in &axes::BUFFERS_MS {
             grid.push(AccessParams {
                 rate_mbps,
-                loss_pct: 0.02,
-                latency_ms: 20,
+                loss_pct: axes::LOSSES_PCT[0],
+                latency_ms: axes::LATENCIES_MS[0],
                 buffer_ms,
             });
         }
@@ -52,11 +66,36 @@ pub enum Profile {
 }
 
 impl Profile {
-    fn config(&self, access: AccessParams, seed: u64) -> TestbedConfig {
+    /// The testbed configuration for one grid point at this fidelity.
+    pub fn config(&self, access: AccessParams, seed: u64) -> TestbedConfig {
         match self {
             Profile::Paper => TestbedConfig::paper(access, seed),
             Profile::Scaled => TestbedConfig::scaled(access, seed),
         }
+    }
+}
+
+/// One sweep cell — a grid point in one congestion scenario — as a
+/// self-contained [`Scenario`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepScenario {
+    /// The access-link grid point.
+    pub access: AccessParams,
+    /// Run with an externally congested interconnect?
+    pub external: bool,
+    /// Fidelity profile.
+    pub profile: Profile,
+}
+
+impl Scenario for SweepScenario {
+    type Artifact = TestResult;
+
+    fn run(&self, seed: u64) -> TestResult {
+        let mut cfg = self.profile.config(self.access, seed);
+        if self.external {
+            cfg = cfg.externally_congested();
+        }
+        run_test(&cfg)
     }
 }
 
@@ -89,28 +128,36 @@ impl Sweep {
         self.grid.len() * self.reps as usize * 2
     }
 
-    /// Run every grid point `reps` times in both scenarios. Calls
-    /// `progress(done, total)` after each test.
-    pub fn run<F: FnMut(usize, usize)>(&self, mut progress: F) -> Vec<TestResult> {
-        let total = self.total_tests();
-        let mut results = Vec::with_capacity(total);
-        let mut tag = 0u64;
-        for access in &self.grid {
-            for rep in 0..self.reps {
+    /// The sweep as an executable campaign. Scenario order (and thus
+    /// each scenario's derived seed) is grid point × rep ×
+    /// {self-induced, external} — the same 1-based tag scheme the
+    /// original inline loop used, so per-test results are unchanged.
+    pub fn campaign(&self) -> Campaign<SweepScenario> {
+        let mut campaign = Campaign::new(self.seed);
+        for &access in &self.grid {
+            for _rep in 0..self.reps {
                 for external in [false, true] {
-                    tag += 1;
-                    let seed = derive_seed(self.seed, tag);
-                    let mut cfg = self.profile.config(*access, seed);
-                    if external {
-                        cfg = cfg.externally_congested();
-                    }
-                    let _ = rep;
-                    results.push(run_test(&cfg));
-                    progress(results.len(), total);
+                    campaign.push(SweepScenario {
+                        access,
+                        external,
+                        profile: self.profile,
+                    });
                 }
             }
         }
-        results
+        campaign
+    }
+
+    /// Run the sweep sequentially. Calls `progress(done, total)` after
+    /// each test.
+    pub fn run<F: FnMut(usize, usize)>(&self, mut progress: F) -> Vec<TestResult> {
+        Executor::sequential().run_with_progress(&self.campaign(), |e| progress(e.done, e.total))
+    }
+
+    /// Run the sweep on `jobs` workers (`0` = one per core). Results
+    /// are byte-identical to [`Sweep::run`] for any worker count.
+    pub fn run_jobs<F: FnMut(ProgressEvent)>(&self, jobs: usize, progress: F) -> Vec<TestResult> {
+        Executor::new(jobs).run_with_progress(&self.campaign(), progress)
     }
 }
 
@@ -123,8 +170,7 @@ mod tests {
         let g = paper_grid();
         assert_eq!(g.len(), 36);
         // All distinct.
-        let set: std::collections::HashSet<String> =
-            g.iter().map(|a| format!("{a:?}")).collect();
+        let set: std::collections::HashSet<String> = g.iter().map(|a| format!("{a:?}")).collect();
         assert_eq!(set.len(), 36);
     }
 
@@ -133,8 +179,10 @@ mod tests {
         let g = small_grid();
         assert_eq!(g.len(), 9);
         for a in g {
-            assert!([10, 20, 50].contains(&a.rate_mbps));
-            assert!([20, 50, 100].contains(&a.buffer_ms));
+            assert!(axes::RATES_MBPS.contains(&a.rate_mbps));
+            assert!(axes::BUFFERS_MS.contains(&a.buffer_ms));
+            assert!(axes::LOSSES_PCT.contains(&a.loss_pct));
+            assert!(axes::LATENCIES_MS.contains(&a.latency_ms));
         }
     }
 
@@ -147,6 +195,20 @@ mod tests {
             seed: 1,
         };
         assert_eq!(s.total_tests(), 54);
+        assert_eq!(s.campaign().len(), 54);
+    }
+
+    #[test]
+    fn campaign_seeds_match_the_legacy_tag_scheme() {
+        let s = Sweep {
+            grid: small_grid(),
+            reps: 2,
+            profile: Profile::Scaled,
+            seed: 0xBEEF,
+        };
+        for (i, (seed, _)) in s.campaign().iter().enumerate() {
+            assert_eq!(*seed, csig_netsim::rng::derive_seed(0xBEEF, i as u64 + 1));
+        }
     }
 
     #[test]
@@ -166,5 +228,21 @@ mod tests {
             .filter(|r| r.intended == csig_features::CongestionClass::SelfInduced)
             .count();
         assert_eq!(self_count, 2);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let s = Sweep {
+            grid: vec![AccessParams::figure1()],
+            reps: 2,
+            profile: Profile::Scaled,
+            seed: 17,
+        };
+        let seq = s.run(|_, _| {});
+        let par = s.run_jobs(4, |_| {});
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 }

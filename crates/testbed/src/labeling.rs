@@ -86,7 +86,10 @@ mod tests {
             Some(CongestionClass::SelfInduced)
         );
         let r = result(CongestionClass::External, 0.3);
-        assert_eq!(label_with_threshold(&r, 0.8), Some(CongestionClass::External));
+        assert_eq!(
+            label_with_threshold(&r, 0.8),
+            Some(CongestionClass::External)
+        );
     }
 
     #[test]

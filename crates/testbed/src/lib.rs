@@ -24,7 +24,7 @@ pub mod topology;
 
 pub use agents::{CbrAgent, MultiClientAgent};
 pub use config::{AccessParams, CongestionMode, TestbedConfig};
-pub use grid::{paper_grid, small_grid, Profile, Sweep};
+pub use grid::{paper_grid, small_grid, Profile, Sweep, SweepScenario};
 pub use labeling::{build_dataset, label_with_threshold};
 pub use runner::{run_test, TestResult};
 pub use topology::{build, Testbed, TEST_FLOW};

@@ -6,8 +6,8 @@ use csig_features::{features_from_samples, CongestionClass, FeatureError, FlowFe
 use csig_netsim::SimDuration;
 use csig_tcp::{ConnStats, TcpServerAgent};
 use csig_trace::{
-    capacity_estimate_bps, detect_slow_start, extract_rtt_samples, split_flows,
-    throughput_summary, FlowTrace, SlowStart, ThroughputSummary,
+    capacity_estimate_bps, detect_slow_start, extract_rtt_samples, split_flows, throughput_summary,
+    FlowTrace, SlowStart, ThroughputSummary,
 };
 use serde::{Deserialize, Serialize};
 
@@ -72,10 +72,13 @@ pub fn run_test(cfg: &TestbedConfig) -> TestResult {
 
     let capture = tb.sim.take_capture(tb.capture);
     let flows = split_flows(&capture);
-    let trace = flows.get(&TEST_FLOW).cloned().unwrap_or(csig_trace::FlowTrace {
-        flow: TEST_FLOW,
-        records: Vec::new(),
-    });
+    let trace = flows
+        .get(&TEST_FLOW)
+        .cloned()
+        .unwrap_or(csig_trace::FlowTrace {
+            flow: TEST_FLOW,
+            records: Vec::new(),
+        });
 
     let samples = extract_rtt_samples(&trace);
     let slow_start = detect_slow_start(&trace);
@@ -84,8 +87,7 @@ pub fn run_test(cfg: &TestbedConfig) -> TestResult {
     let ss_throughput_bps = slow_start_capacity_estimate(&trace, &slow_start, &throughput);
 
     let icl = tb.sim.link(tb.interconnect_down);
-    let interconnect_max_occupancy =
-        icl.max_occupancy() as f64 / icl.buffer_capacity() as f64;
+    let interconnect_max_occupancy = icl.max_occupancy() as f64 / icl.buffer_capacity() as f64;
 
     TestResult {
         features,

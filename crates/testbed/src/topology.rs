@@ -147,7 +147,10 @@ pub fn build(cfg: &TestbedConfig) -> Testbed {
     } else {
         Vec::new()
     };
-    let pi2 = sim.add_host(Box::new(MultiClientAgent::new(TGTRANS_BLOCK, tgtrans_children)));
+    let pi2 = sim.add_host(Box::new(MultiClientAgent::new(
+        TGTRANS_BLOCK,
+        tgtrans_children,
+    )));
 
     // TGcong: bulk fetch loops from server 4, attached at r2.
     let mut server4_agent =
@@ -189,7 +192,11 @@ pub fn build(cfg: &TestbedConfig) -> Testbed {
             SimTime::ZERO,
             test_end,
         )));
-        sim.add_duplex_link(cbr, r1, LinkConfig::new(10_000_000_000, ms(0)).buffer_ms(20));
+        sim.add_duplex_link(
+            cbr,
+            r1,
+            LinkConfig::new(10_000_000_000, ms(0)).buffer_ms(20),
+        );
     }
 
     // --- links -------------------------------------------------------------
@@ -226,7 +233,11 @@ pub fn build(cfg: &TestbedConfig) -> Testbed {
     sim.add_link(pi1, r2, LinkConfig::new(100_000_000, ms(1)).buffer_ms(20));
 
     sim.add_duplex_link(r2, pi2, LinkConfig::new(100_000_000, ms(1)).buffer_ms(20));
-    sim.add_duplex_link(r2, cong, LinkConfig::new(10_000_000_000, ms(0)).buffer_ms(20));
+    sim.add_duplex_link(
+        r2,
+        cong,
+        LinkConfig::new(10_000_000_000, ms(0)).buffer_ms(20),
+    );
 
     sim.compute_routes();
     let capture = sim.attach_capture(server1);

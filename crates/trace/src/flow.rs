@@ -135,9 +135,7 @@ impl OffsetTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csig_netsim::{
-        NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK,
-    };
+    use csig_netsim::{NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK};
 
     fn rec(flow: u32, dir: Direction, t_ms: u64, flags: TcpFlags, seq: u32) -> PacketRecord {
         PacketRecord {
@@ -165,9 +163,12 @@ mod tests {
     #[test]
     fn split_preserves_order_and_flows() {
         let mut cap = Capture::new(NodeId(0));
-        cap.records.push(rec(1, Direction::Out, 1, TcpFlags::SYN, 100));
-        cap.records.push(rec(2, Direction::Out, 2, TcpFlags::SYN, 200));
-        cap.records.push(rec(1, Direction::In, 3, TcpFlags::SYN | TcpFlags::ACK, 300));
+        cap.records
+            .push(rec(1, Direction::Out, 1, TcpFlags::SYN, 100));
+        cap.records
+            .push(rec(2, Direction::Out, 2, TcpFlags::SYN, 200));
+        cap.records
+            .push(rec(1, Direction::In, 3, TcpFlags::SYN | TcpFlags::ACK, 300));
         let flows = split_flows(&cap);
         assert_eq!(flows.len(), 2);
         assert_eq!(flows[&FlowId(1)].len(), 2);
@@ -178,8 +179,10 @@ mod tests {
     #[test]
     fn isn_recovered_from_syns() {
         let mut cap = Capture::new(NodeId(0));
-        cap.records.push(rec(1, Direction::Out, 1, TcpFlags::SYN, 111));
-        cap.records.push(rec(1, Direction::In, 2, TcpFlags::SYN | TcpFlags::ACK, 222));
+        cap.records
+            .push(rec(1, Direction::Out, 1, TcpFlags::SYN, 111));
+        cap.records
+            .push(rec(1, Direction::In, 2, TcpFlags::SYN | TcpFlags::ACK, 222));
         let flows = split_flows(&cap);
         let isn = flows[&FlowId(1)].isn();
         assert_eq!(isn.local_iss, Some(111));
@@ -189,7 +192,8 @@ mod tests {
     #[test]
     fn missing_handshake_yields_none() {
         let mut cap = Capture::new(NodeId(0));
-        cap.records.push(rec(1, Direction::Out, 1, TcpFlags::ACK, 500));
+        cap.records
+            .push(rec(1, Direction::Out, 1, TcpFlags::ACK, 500));
         let flows = split_flows(&cap);
         let isn = flows[&FlowId(1)].isn();
         assert_eq!(isn.local_iss, None);
@@ -213,12 +217,17 @@ mod tests {
     #[test]
     fn time_span_and_duration() {
         let mut cap = Capture::new(NodeId(0));
-        cap.records.push(rec(1, Direction::Out, 10, TcpFlags::SYN, 1));
-        cap.records.push(rec(1, Direction::Out, 510, TcpFlags::ACK, 2));
+        cap.records
+            .push(rec(1, Direction::Out, 10, TcpFlags::SYN, 1));
+        cap.records
+            .push(rec(1, Direction::Out, 510, TcpFlags::ACK, 2));
         let flows = split_flows(&cap);
         let ft = &flows[&FlowId(1)];
         let (a, b) = ft.time_span().unwrap();
-        assert_eq!(b.saturating_since(a), csig_netsim::SimDuration::from_millis(500));
+        assert_eq!(
+            b.saturating_since(a),
+            csig_netsim::SimDuration::from_millis(500)
+        );
         assert!((ft.duration_secs() - 0.5).abs() < 1e-9);
     }
 }

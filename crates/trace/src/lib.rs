@@ -86,7 +86,9 @@ mod integration_tests {
         // measurement paths sample exactly the same ACKs and must agree
         // pairwise. After loss they diverge slightly in which ACKs are
         // Karn-eligible, so comparison is windowed.
-        let boundary = stats.first_retransmit_at.unwrap_or(csig_netsim::SimTime::MAX);
+        let boundary = stats
+            .first_retransmit_at
+            .unwrap_or(csig_netsim::SimTime::MAX);
         let trace_ss: Vec<_> = samples.iter().filter(|s| s.at <= boundary).collect();
         let stack_ss: Vec<_> = stats
             .rtt_samples
@@ -156,8 +158,14 @@ mod integration_tests {
         let ss = detect_slow_start(trace);
         let win = slow_start_samples(&samples, &ss);
         assert!(win.len() >= 10);
-        let min = win.iter().map(|s| s.rtt.as_millis_f64()).fold(f64::MAX, f64::min);
-        let max = win.iter().map(|s| s.rtt.as_millis_f64()).fold(0.0, f64::max);
+        let min = win
+            .iter()
+            .map(|s| s.rtt.as_millis_f64())
+            .fold(f64::MAX, f64::min);
+        let max = win
+            .iter()
+            .map(|s| s.rtt.as_millis_f64())
+            .fold(0.0, f64::max);
         assert!(min < 50.0, "baseline inflated: {min}");
         assert!(max > 110.0, "buffer never filled: {max}");
     }

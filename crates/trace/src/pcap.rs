@@ -15,8 +15,8 @@
 //! the peer side is `10000 + (flow % 50000)`.
 
 use csig_netsim::{
-    Capture, Direction, FlowId, NodeId, Packet, PacketId, PacketKind, SimTime, TcpFlags,
-    TcpHeader, NO_SACK, TCP_HEADER_BYTES,
+    Capture, Direction, FlowId, NodeId, Packet, PacketId, PacketKind, SimTime, TcpFlags, TcpHeader,
+    NO_SACK, TCP_HEADER_BYTES,
 };
 use std::io::{self, Read, Write};
 
@@ -276,7 +276,8 @@ pub fn read_pcap<R: Read>(mut r: R, tap: NodeId) -> Result<Capture, PcapError> {
         }
 
         let payload_len = orig.saturating_sub((ihl + doff) as u32);
-        let ip_of = |ip: [u8; 4]| NodeId(((ip[1] as u32) << 16) | ((ip[2] as u32) << 8) | ip[3] as u32);
+        let ip_of =
+            |ip: [u8; 4]| NodeId(((ip[1] as u32) << 16) | ((ip[2] as u32) << 8) | ip[3] as u32);
         let tap_ip = node_ip(tap);
         let dir = if src_ip == tap_ip {
             Direction::Out
@@ -416,7 +417,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         assert!(matches!(
             read_pcap(&buf[..], NodeId(0)),
             Err(PcapError::Format(_))
@@ -425,8 +426,11 @@ mod tests {
 
     #[test]
     fn truncated_file_rejected() {
-        let buf = vec![0u8; 3];
-        assert!(matches!(read_pcap(&buf[..], NodeId(0)), Err(PcapError::Io(_))));
+        let buf = [0u8; 3];
+        assert!(matches!(
+            read_pcap(&buf[..], NodeId(0)),
+            Err(PcapError::Io(_))
+        ));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! sent the most payload bytes.
 
 use csig_netsim::{
-    Capture, Direction, FlowId, NodeId, Packet, PacketId, PacketKind, SimTime, TcpFlags,
-    TcpHeader, SackBlocks, NO_SACK, TCP_HEADER_BYTES,
+    Capture, Direction, FlowId, NodeId, Packet, PacketId, PacketKind, SackBlocks, SimTime,
+    TcpFlags, TcpHeader, NO_SACK, TCP_HEADER_BYTES,
 };
 use std::collections::HashMap;
 use std::io::{self, Read};
@@ -90,7 +90,11 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
     let l2_skip = match linktype {
         LINKTYPE_RAW => 0usize,
         LINKTYPE_ETHERNET => 14,
-        _ => return Err(ImportError::Format("unsupported linktype (need RAW or EN10MB)")),
+        _ => {
+            return Err(ImportError::Format(
+                "unsupported linktype (need RAW or EN10MB)",
+            ))
+        }
     };
 
     let mut packets = Vec::new();
@@ -114,10 +118,13 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
         // Timestamps relative to the first packet's second keeps SimTime
         // in range for multi-year epoch values.
         let base = *base_sec.get_or_insert(ts_sec);
-        let time =
-            SimTime::from_nanos(ts_sec.saturating_sub(base) * 1_000_000_000 + ts_frac * nanos_per_frac);
+        let time = SimTime::from_nanos(
+            ts_sec.saturating_sub(base) * 1_000_000_000 + ts_frac * nanos_per_frac,
+        );
 
-        let Some(ip) = data.get(l2_skip..) else { continue };
+        let Some(ip) = data.get(l2_skip..) else {
+            continue;
+        };
         if linktype == LINKTYPE_ETHERNET {
             // Require the IPv4 ethertype.
             if data.len() < 14 || data[12] != 0x08 || data[13] != 0x00 {
@@ -166,9 +173,8 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
                         for (i, slot) in sack.iter_mut().enumerate().take(nblocks) {
                             let o = 2 + i * 8;
                             if o + 8 <= len {
-                                let s = u32::from_be_bytes(
-                                    opts[o..o + 4].try_into().expect("sized"),
-                                );
+                                let s =
+                                    u32::from_be_bytes(opts[o..o + 4].try_into().expect("sized"));
                                 let e = u32::from_be_bytes(
                                     opts[o + 4..o + 8].try_into().expect("sized"),
                                 );
@@ -222,17 +228,15 @@ pub enum ServerSelector {
 pub fn assemble_capture(packets: &[RawTcpPacket], server: ServerSelector) -> Capture {
     // Identify the server endpoint.
     let server_key: Option<([u8; 4], u16)> = match server {
-        ServerSelector::Port(p) => packets
-            .iter()
-            .find_map(|pkt| {
-                if pkt.sport == p {
-                    Some((pkt.src_ip, pkt.sport))
-                } else if pkt.dport == p {
-                    Some((pkt.dst_ip, pkt.dport))
-                } else {
-                    None
-                }
-            }),
+        ServerSelector::Port(p) => packets.iter().find_map(|pkt| {
+            if pkt.sport == p {
+                Some((pkt.src_ip, pkt.sport))
+            } else if pkt.dport == p {
+                Some((pkt.dst_ip, pkt.dport))
+            } else {
+                None
+            }
+        }),
         ServerSelector::MostBytesSent => {
             let mut sent: HashMap<([u8; 4], u16), u64> = HashMap::new();
             for pkt in packets {
@@ -266,7 +270,11 @@ pub fn assemble_capture(packets: &[RawTcpPacket], server: ServerSelector) -> Cap
             next_flow += 1;
             f
         });
-        let dir = if from_server { Direction::Out } else { Direction::In };
+        let dir = if from_server {
+            Direction::Out
+        } else {
+            Direction::In
+        };
         cap.records.push(csig_netsim::PacketRecord {
             time: pkt.time,
             dir,
@@ -316,8 +324,28 @@ mod tests {
         // One data packet server(10.0.0.1:5001) → client(10.0.0.2:40000)
         // and one pure ACK back.
         for (src, sport, dst, dport, seq, ack, payload, fl, t_us) in [
-            ([10, 0, 0, 1], 5001u16, [10, 0, 0, 2], 40_000u16, 1000u32, 1u32, 100u32, 0x10u8, 500u64),
-            ([10, 0, 0, 2], 40_000, [10, 0, 0, 1], 5001, 1, 1100, 0, 0x10, 40_500),
+            (
+                [10, 0, 0, 1],
+                5001u16,
+                [10, 0, 0, 2],
+                40_000u16,
+                1000u32,
+                1u32,
+                100u32,
+                0x10u8,
+                500u64,
+            ),
+            (
+                [10, 0, 0, 2],
+                40_000,
+                [10, 0, 0, 1],
+                5001,
+                1,
+                1100,
+                0,
+                0x10,
+                40_500,
+            ),
         ] {
             let mut frame = Vec::new();
             // Ethernet: dst mac, src mac, ethertype IPv4.
@@ -425,7 +453,10 @@ mod tests {
             parse_pcap_tcp(&[0u8; 24][..]),
             Err(ImportError::Format(_))
         ));
-        assert!(matches!(parse_pcap_tcp(&[0u8; 3][..]), Err(ImportError::Io(_))));
+        assert!(matches!(
+            parse_pcap_tcp(&[0u8; 3][..]),
+            Err(ImportError::Io(_))
+        ));
     }
 
     proptest::proptest! {

@@ -144,8 +144,7 @@ pub fn bytes_acked_by(trace: &FlowTrace, until: SimTime) -> u64 {
                 if !h.flags.ack() {
                     continue;
                 }
-                let mut off =
-                    csig_tcp::seq::offset_of(local_iss.wrapping_add(1), h.ack, max_ack);
+                let mut off = csig_tcp::seq::offset_of(local_iss.wrapping_add(1), h.ack, max_ack);
                 if let Some(cap) = fin_cap {
                     off = off.min(cap);
                 }
@@ -162,14 +161,19 @@ pub fn bytes_acked_by(trace: &FlowTrace, until: SimTime) -> u64 {
 mod tests {
     use super::*;
     use crate::flow::FlowTrace;
-    use csig_netsim::{
-        FlowId, NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK,
-    };
+    use csig_netsim::{FlowId, NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK};
 
     const ISS: u32 = 5000;
     const RISS: u32 = 9000;
 
-    fn tcp_rec(dir: Direction, t_us: u64, seq: u32, ack: u32, len: u32, flags: TcpFlags) -> csig_netsim::PacketRecord {
+    fn tcp_rec(
+        dir: Direction,
+        t_us: u64,
+        seq: u32,
+        ack: u32,
+        len: u32,
+        flags: TcpFlags,
+    ) -> csig_netsim::PacketRecord {
         csig_netsim::PacketRecord {
             time: SimTime::from_micros(t_us),
             dir,
@@ -195,8 +199,22 @@ mod tests {
     fn handshake() -> Vec<csig_netsim::PacketRecord> {
         vec![
             tcp_rec(Direction::In, 0, RISS, 0, 0, TcpFlags::SYN),
-            tcp_rec(Direction::Out, 10, ISS, RISS.wrapping_add(1), 0, TcpFlags::SYN | TcpFlags::ACK),
-            tcp_rec(Direction::In, 20, RISS.wrapping_add(1), ISS.wrapping_add(1), 0, TcpFlags::ACK),
+            tcp_rec(
+                Direction::Out,
+                10,
+                ISS,
+                RISS.wrapping_add(1),
+                0,
+                TcpFlags::SYN | TcpFlags::ACK,
+            ),
+            tcp_rec(
+                Direction::In,
+                20,
+                RISS.wrapping_add(1),
+                ISS.wrapping_add(1),
+                0,
+                TcpFlags::ACK,
+            ),
         ]
     }
 

@@ -109,7 +109,11 @@ pub fn capacity_estimate_bps(trace: &FlowTrace, ss: &SlowStart) -> Option<f64> {
 /// arrived no later than the boundary).
 pub fn slow_start_samples(samples: &[RttSample], ss: &SlowStart) -> Vec<RttSample> {
     let boundary = ss.boundary();
-    samples.iter().filter(|s| s.at <= boundary).copied().collect()
+    samples
+        .iter()
+        .filter(|s| s.at <= boundary)
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]
@@ -122,7 +126,14 @@ mod tests {
 
     const ISS: u32 = 1000;
 
-    fn rec(dir: Direction, t_ms: u64, seq_off: u32, len: u32, ack_off: u32, flags: TcpFlags) -> csig_netsim::PacketRecord {
+    fn rec(
+        dir: Direction,
+        t_ms: u64,
+        seq_off: u32,
+        len: u32,
+        ack_off: u32,
+        flags: TcpFlags,
+    ) -> csig_netsim::PacketRecord {
         let (seq, ack) = match dir {
             Direction::Out => (ISS.wrapping_add(1).wrapping_add(seq_off), 1),
             Direction::In => (900, ISS.wrapping_add(1).wrapping_add(ack_off)),

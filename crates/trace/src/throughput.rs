@@ -98,8 +98,7 @@ pub fn throughput_timeseries(trace: &FlowTrace, bin: SimDuration) -> Vec<(SimTim
                 let Some(tr) = tracker.as_ref() else { continue };
                 let off = csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, max_ack);
                 if off > max_ack {
-                    let idx =
-                        (rec.time.saturating_since(t0).as_nanos() / bin.as_nanos()) as usize;
+                    let idx = (rec.time.saturating_since(t0).as_nanos() / bin.as_nanos()) as usize;
                     if idx < nbins {
                         acked_per_bin[idx] += off - max_ack;
                     }
@@ -121,13 +120,18 @@ pub fn throughput_timeseries(trace: &FlowTrace, bin: SimDuration) -> Vec<(SimTim
 mod tests {
     use super::*;
     use crate::flow::FlowTrace;
-    use csig_netsim::{
-        FlowId, NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK,
-    };
+    use csig_netsim::{FlowId, NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK};
 
     const ISS: u32 = 77;
 
-    fn rec(dir: Direction, t_ms: u64, seq: u32, ack: u32, len: u32, flags: TcpFlags) -> csig_netsim::PacketRecord {
+    fn rec(
+        dir: Direction,
+        t_ms: u64,
+        seq: u32,
+        ack: u32,
+        len: u32,
+        flags: TcpFlags,
+    ) -> csig_netsim::PacketRecord {
         csig_netsim::PacketRecord {
             time: SimTime::from_millis(t_ms),
             dir,
@@ -157,7 +161,14 @@ mod tests {
                 rec(Direction::Out, 0, ISS, 0, 0, TcpFlags::SYN | TcpFlags::ACK),
                 rec(Direction::Out, 100, ISS + 1, 0, 50_000, TcpFlags::ACK),
                 rec(Direction::In, 300, 1, ISS + 1 + 50_000, 0, TcpFlags::ACK),
-                rec(Direction::Out, 350, ISS + 1 + 50_000, 0, 50_000, TcpFlags::ACK),
+                rec(
+                    Direction::Out,
+                    350,
+                    ISS + 1 + 50_000,
+                    0,
+                    50_000,
+                    TcpFlags::ACK,
+                ),
                 rec(Direction::In, 1100, 1, ISS + 1 + 100_000, 0, TcpFlags::ACK),
             ],
         }

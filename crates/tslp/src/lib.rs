@@ -62,7 +62,11 @@ mod integration_tests {
         let p: &TslpProber = sim.agent(vantage).unwrap();
         // ~19% of far probes lost (10% each way); series still dense.
         let far_series = p.far().unwrap();
-        assert!(far_series.len() > 100, "far series thinned to {}", far_series.len());
+        assert!(
+            far_series.len() > 100,
+            "far series thinned to {}",
+            far_series.len()
+        );
         assert!((far_series.len() as f64) < 0.95 * p.near().len() as f64);
         let eps = interdomain_episodes(
             p.near(),

@@ -8,7 +8,10 @@
 //! dataset.
 
 use crate::timeseries::LatencySeries;
-use csig_netsim::{Agent, Ctx, FlowId, NodeId, Packet, PacketKind, PacketSpec, ProbeKind, SimDuration, SimTime, TimerToken};
+use csig_netsim::{
+    Agent, Ctx, FlowId, NodeId, Packet, PacketKind, PacketSpec, ProbeKind, SimDuration, SimTime,
+    TimerToken,
+};
 
 /// A probing agent: every `interval` it sends one probe to each target
 /// and records the replies' RTTs per target.
@@ -58,7 +61,12 @@ impl TslpProber {
         for (i, &target) in self.targets.iter().enumerate() {
             // ident encodes the target index; the reply echoes it.
             let ident = (self.seq << 8) | i as u64;
-            ctx.send(PacketSpec::probe(self.flow, target, ProbeKind::Request, ident));
+            ctx.send(PacketSpec::probe(
+                self.flow,
+                target,
+                ProbeKind::Request,
+                ident,
+            ));
             self.sent += 1;
         }
         self.seq += 1;
@@ -145,7 +153,11 @@ mod tests {
             FlowId(1),
         )));
         let r = sim.add_router();
-        sim.add_duplex_link(vantage, r, LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)));
+        sim.add_duplex_link(
+            vantage,
+            r,
+            LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)),
+        );
         sim.compute_routes();
         sim.run_until(SimTime::from_secs(1));
         let p: &TslpProber = sim.agent(vantage).unwrap();

@@ -8,7 +8,7 @@
 //! ```
 
 use tcp_congestion_signatures::mlab::{
-    diurnal_throughput, generate_with_progress, is_off_peak_hour, is_peak_hour, AccessIsp,
+    diurnal_throughput, generate_jobs, is_off_peak_hour, is_peak_hour, AccessIsp,
     Dispute2014Config, Month, TransitSite,
 };
 use tcp_congestion_signatures::prelude::*;
@@ -21,9 +21,9 @@ fn main() {
         test_duration: SimDuration::from_secs(3),
         seed: 14,
     };
-    let tests = generate_with_progress(&cfg, |done, total| {
-        if done % 120 == 0 {
-            println!("  {done}/{total}");
+    let tests = generate_jobs(&cfg, 0, |e| {
+        if e.done % 120 == 0 {
+            println!("  {}/{}", e.done, e.total);
         }
     });
 

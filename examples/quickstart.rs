@@ -12,9 +12,24 @@ fn main() {
     //    fidelity profile; see DESIGN.md). Each grid point runs both a
     //    self-induced and an externally congested scenario.
     let grid = vec![
-        AccessParams { rate_mbps: 10, loss_pct: 0.02, latency_ms: 20, buffer_ms: 50 },
-        AccessParams { rate_mbps: 20, loss_pct: 0.02, latency_ms: 20, buffer_ms: 100 },
-        AccessParams { rate_mbps: 50, loss_pct: 0.02, latency_ms: 40, buffer_ms: 50 },
+        AccessParams {
+            rate_mbps: 10,
+            loss_pct: 0.02,
+            latency_ms: 20,
+            buffer_ms: 50,
+        },
+        AccessParams {
+            rate_mbps: 20,
+            loss_pct: 0.02,
+            latency_ms: 20,
+            buffer_ms: 100,
+        },
+        AccessParams {
+            rate_mbps: 50,
+            loss_pct: 0.02,
+            latency_ms: 40,
+            buffer_ms: 50,
+        },
     ];
     println!("running training sweep (12 simulated throughput tests)…");
     let results = Sweep {
@@ -43,10 +58,12 @@ fn main() {
     // 3. Diagnose two fresh speed tests the model has never seen.
     println!("diagnosing fresh tests…");
     let self_test = run_test(&TestbedConfig::scaled(AccessParams::figure1(), 777));
-    let ext_test = run_test(
-        &TestbedConfig::scaled(AccessParams::figure1(), 778).externally_congested(),
-    );
-    for (name, t) in [("idle path", &self_test), ("congested interconnect", &ext_test)] {
+    let ext_test =
+        run_test(&TestbedConfig::scaled(AccessParams::figure1(), 778).externally_congested());
+    for (name, t) in [
+        ("idle path", &self_test),
+        ("congested interconnect", &ext_test),
+    ] {
         let f = t.features.as_ref().expect("features");
         let class = clf.classify(f);
         println!(

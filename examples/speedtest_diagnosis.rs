@@ -91,7 +91,10 @@ fn main() {
             let path = std::env::temp_dir().join("speedtest_external.pcap");
             let mut file = std::fs::File::create(&path).expect("create pcap");
             let n = write_pcap(&capture, &mut file).expect("write pcap");
-            println!("  wrote {n} packets to {} (open it in wireshark)", path.display());
+            println!(
+                "  wrote {n} packets to {} (open it in wireshark)",
+                path.display()
+            );
         }
         println!();
     }

@@ -10,7 +10,7 @@
 //! cargo run --release --example tslp_monitor
 //! ```
 
-use tcp_congestion_signatures::mlab::{label_tslp2017, run_campaign_with_progress, Tslp2017Config};
+use tcp_congestion_signatures::mlab::{label_tslp2017, run_campaign_jobs, Tslp2017Config};
 use tcp_congestion_signatures::prelude::*;
 use tcp_congestion_signatures::testbed;
 use tcp_congestion_signatures::tslp::{interdomain_episodes, DetectorParams};
@@ -28,9 +28,9 @@ fn main() {
         "running a {}-day campaign (continuous TSLP probing + periodic NDT tests)…",
         cfg.days
     );
-    let out = run_campaign_with_progress(&cfg, |done, total| {
-        if done % 30 == 0 {
-            println!("  NDT test {done}/{total}");
+    let out = run_campaign_jobs(&cfg, 0, |e| {
+        if e.done % 30 == 0 {
+            println!("  NDT test {}/{}", e.done, e.total);
         }
     });
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, format, lint.
+# Run from the repository root: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace --all-targets"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all checks passed"

@@ -16,12 +16,16 @@
 //! csig inspect <capture.pcap> [--server-port P]
 //!     Per-flow RTT/slow-start statistics without classification.
 //! ```
+//!
+//! Sweeping subcommands accept the shared execution flags (`--jobs N`,
+//! `--seed S`, `--progress`) parsed by `csig_exec::cli::CommonArgs`.
 
 use std::fs;
 use std::process::ExitCode;
 
-use csig_core::{train_from_results, SignatureClassifier};
+use csig_core::{train_sweep, SignatureClassifier};
 use csig_dtree::TreeParams;
+use csig_exec::cli::CommonArgs;
 use csig_features::features_from_samples;
 use csig_netsim::SimDuration;
 use csig_testbed::{paper_grid, small_grid, AccessParams, Profile, Sweep, TestbedConfig};
@@ -31,17 +35,17 @@ use csig_trace::{
 };
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = all.first().cloned() else {
         eprintln!("{}", USAGE);
         return ExitCode::FAILURE;
     };
-    let rest = &args[1..];
+    let args = CommonArgs::from_vec(all[1..].to_vec());
     let result = match cmd.as_str() {
-        "train" => cmd_train(rest),
-        "classify" => cmd_classify(rest),
-        "simulate" => cmd_simulate(rest),
-        "inspect" => cmd_inspect(rest),
+        "train" => cmd_train(&args),
+        "classify" => cmd_classify(&args),
+        "simulate" => cmd_simulate(&args),
+        "inspect" => cmd_inspect(&args),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -58,72 +62,43 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  csig train    [--out model.json] [--reps N] [--threshold T] [--full-grid] [--seed S]
-  csig classify <capture.pcap> [--model model.json] [--server-port P]
+  csig train    [--out model.json] [--reps N] [--threshold T] [--full-grid]
+                [--seed S] [--jobs N] [--progress]
+  csig classify <capture.pcap> [--model model.json] [--server-port P] [--jobs N]
   csig simulate [--external] [--out capture.pcap] [--seed S]
   csig inspect  <capture.pcap> [--server-port P]";
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
+fn cmd_train(args: &CommonArgs) -> Result<(), String> {
+    let out = args
+        .flag_value("--out")
         .cloned()
-}
-
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-fn positional(args: &[String]) -> Option<&String> {
-    // First argument that is neither a flag nor the value of the flag
-    // preceding it.
-    args.iter().enumerate().find_map(|(i, a)| {
-        if a.starts_with("--") {
-            return None;
-        }
-        match i.checked_sub(1).and_then(|j| args.get(j)) {
-            Some(prev) if prev.starts_with("--") => None,
-            _ => Some(a),
-        }
-    })
-}
-
-fn cmd_train(args: &[String]) -> Result<(), String> {
-    let out = flag_value(args, "--out").unwrap_or_else(|| "model.json".into());
-    let reps: u32 = flag_value(args, "--reps")
-        .map(|v| v.parse().map_err(|_| "bad --reps"))
-        .transpose()?
-        .unwrap_or(4);
-    let threshold: f64 = flag_value(args, "--threshold")
-        .map(|v| v.parse().map_err(|_| "bad --threshold"))
-        .transpose()?
-        .unwrap_or(0.7);
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|v| v.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(42);
-    let grid = if has_flag(args, "--full-grid") {
+        .unwrap_or_else(|| "model.json".into());
+    let reps: u32 = args.parsed_flag("--reps")?.unwrap_or(4);
+    let threshold: f64 = args.parsed_flag("--threshold")?.unwrap_or(0.7);
+    let grid = if args.has_flag("--full-grid") {
         paper_grid()
     } else {
         small_grid()
     };
     eprintln!(
-        "training: {} grid points × {reps} reps × 2 scenarios…",
-        grid.len()
+        "training: {} grid points × {reps} reps × 2 scenarios on {} workers…",
+        grid.len(),
+        args.executor().jobs()
     );
-    let results = Sweep {
+    let sweep = Sweep {
         grid,
         reps,
         profile: Profile::Scaled,
-        seed,
-    }
-    .run(|done, total| {
-        if done % 10 == 0 {
-            eprintln!("  {done}/{total}");
-        }
-    });
-    let clf = train_from_results(&results, threshold, TreeParams::default())
-        .ok_or("sweep produced a single class; try a different threshold")?;
+        seed: args.seed_or(42),
+    };
+    let (_, model) = train_sweep(
+        &sweep,
+        threshold,
+        TreeParams::default(),
+        args.jobs,
+        args.progress_printer(10),
+    );
+    let clf = model.ok_or("sweep produced a single class; try a different threshold")?;
     fs::write(&out, clf.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     eprintln!(
         "model trained on {} flows ({} filtered), written to {out}",
@@ -131,34 +106,36 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     );
     println!("{}", clf.render());
     let imp = clf.tree().feature_importances();
-    println!("feature importances: NormDiff={:.2} CoV={:.2}", imp[0], imp[1]);
+    println!(
+        "feature importances: NormDiff={:.2} CoV={:.2}",
+        imp[0], imp[1]
+    );
     Ok(())
 }
 
-fn load_or_train_model(args: &[String]) -> Result<SignatureClassifier, String> {
-    match flag_value(args, "--model") {
+fn load_or_train_model(args: &CommonArgs) -> Result<SignatureClassifier, String> {
+    match args.flag_value("--model") {
         Some(path) => {
-            let json = fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             SignatureClassifier::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
         }
         None => {
             eprintln!("no --model given; training a default model (~1 min)…");
-            let results = Sweep {
+            let sweep = Sweep {
                 grid: small_grid(),
                 reps: 4,
                 profile: Profile::Scaled,
                 seed: 42,
-            }
-            .run(|_, _| {});
-            train_from_results(&results, 0.7, TreeParams::default())
-                .ok_or_else(|| "default training failed".into())
+            };
+            let (_, model) = train_sweep(&sweep, 0.7, TreeParams::default(), args.jobs, |_| {});
+            model.ok_or_else(|| "default training failed".into())
         }
     }
 }
 
-fn load_capture(args: &[String]) -> Result<csig_netsim::Capture, String> {
-    let path = positional(args).ok_or("missing capture path")?;
-    let selector = match flag_value(args, "--server-port") {
+fn load_capture(args: &CommonArgs) -> Result<csig_netsim::Capture, String> {
+    let path = args.positional().ok_or("missing capture path")?;
+    let selector = match args.flag_value("--server-port") {
         Some(p) => ServerSelector::Port(p.parse().map_err(|_| "bad --server-port")?),
         None => ServerSelector::MostBytesSent,
     };
@@ -166,14 +143,17 @@ fn load_capture(args: &[String]) -> Result<csig_netsim::Capture, String> {
     import_pcap(file, selector).map_err(|e| e.to_string())
 }
 
-fn cmd_classify(args: &[String]) -> Result<(), String> {
+fn cmd_classify(args: &CommonArgs) -> Result<(), String> {
     let capture = load_capture(args)?;
     let clf = load_or_train_model(args)?;
     let reports = csig_core::analyze_capture(&clf, &capture);
     if reports.is_empty() {
         return Err("no TCP flows found (wrong --server-port?)".into());
     }
-    println!("{:>6} {:>10} {:>9} {:>9} {:>8} {:>10}", "flow", "class", "conf", "NormDiff", "CoV", "samples");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>8} {:>10}",
+        "flow", "class", "conf", "NormDiff", "CoV", "samples"
+    );
     for r in reports {
         match r.verdict {
             Ok(v) => println!(
@@ -191,26 +171,26 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let out = flag_value(args, "--out").unwrap_or_else(|| "capture.pcap".into());
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|v| v.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(7);
-    let mut cfg = TestbedConfig::scaled(AccessParams::figure1(), seed);
-    if has_flag(args, "--external") {
+fn cmd_simulate(args: &CommonArgs) -> Result<(), String> {
+    let out = args
+        .flag_value("--out")
+        .cloned()
+        .unwrap_or_else(|| "capture.pcap".into());
+    let mut cfg = TestbedConfig::scaled(AccessParams::figure1(), args.seed_or(7));
+    if args.has_flag("--external") {
         cfg = cfg.externally_congested();
     }
     eprintln!(
         "simulating a speed test ({}; 20 Mbps plan, 100 ms buffer)…",
-        if has_flag(args, "--external") {
+        if args.has_flag("--external") {
             "congested interconnect"
         } else {
             "idle path"
         }
     );
     let mut tb = csig_testbed::build(&cfg);
-    tb.sim.run_until(tb.test_end + SimDuration::from_millis(500));
+    tb.sim
+        .run_until(tb.test_end + SimDuration::from_millis(500));
     let capture = tb.sim.take_capture(tb.capture);
     let file = fs::File::create(&out).map_err(|e| format!("creating {out}: {e}"))?;
     let n = write_pcap(&capture, file).map_err(|e| e.to_string())?;
@@ -218,7 +198,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
+fn cmd_inspect(args: &CommonArgs) -> Result<(), String> {
     let capture = load_capture(args)?;
     let flows = split_flows(&capture);
     if flows.is_empty() {

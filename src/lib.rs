@@ -20,6 +20,7 @@
 //! | [`testbed`] | the paper's §3 controlled-experiment harness |
 //! | [`tslp`] | time-series latency probing |
 //! | [`mlab`] | synthetic Dispute2014 / TSLP2017 campaigns |
+//! | [`exec`] | scenario/campaign execution (sequential or parallel) |
 //! | [`core`] | the classifier API tying it all together |
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@
 
 pub use csig_core as core;
 pub use csig_dtree as dtree;
+pub use csig_exec as exec;
 pub use csig_features as features;
 pub use csig_mlab as mlab;
 pub use csig_netsim as netsim;
@@ -57,6 +59,7 @@ pub mod prelude {
         SignatureClassifier, Verdict,
     };
     pub use csig_dtree::{Dataset, DecisionTree, TreeParams};
+    pub use csig_exec::{Campaign, Executor, ProgressEvent, Scenario};
     pub use csig_features::{
         features_from_rtts_ms, features_from_samples, CongestionClass, FlowFeatures,
     };
@@ -67,7 +70,5 @@ pub mod prelude {
     pub use csig_testbed::{
         run_test, AccessParams, CongestionMode, Profile, Sweep, TestResult, TestbedConfig,
     };
-    pub use csig_trace::{
-        detect_slow_start, extract_rtt_samples, split_flows, throughput_summary,
-    };
+    pub use csig_trace::{detect_slow_start, extract_rtt_samples, split_flows, throughput_summary};
 }

@@ -5,9 +5,24 @@ use tcp_congestion_signatures::prelude::*;
 
 fn mini_grid() -> Vec<AccessParams> {
     vec![
-        AccessParams { rate_mbps: 10, loss_pct: 0.02, latency_ms: 20, buffer_ms: 100 },
-        AccessParams { rate_mbps: 20, loss_pct: 0.02, latency_ms: 40, buffer_ms: 50 },
-        AccessParams { rate_mbps: 20, loss_pct: 0.02, latency_ms: 20, buffer_ms: 20 },
+        AccessParams {
+            rate_mbps: 10,
+            loss_pct: 0.02,
+            latency_ms: 20,
+            buffer_ms: 100,
+        },
+        AccessParams {
+            rate_mbps: 20,
+            loss_pct: 0.02,
+            latency_ms: 40,
+            buffer_ms: 50,
+        },
+        AccessParams {
+            rate_mbps: 20,
+            loss_pct: 0.02,
+            latency_ms: 20,
+            buffer_ms: 20,
+        },
     ]
 }
 
@@ -32,9 +47,7 @@ fn train_serialize_reload_classify() {
     assert_eq!(clf.classify(&f), reloaded.classify(&f));
     assert_eq!(clf.classify(&f), CongestionClass::SelfInduced);
 
-    let t = run_test(
-        &TestbedConfig::scaled(AccessParams::figure1(), 4243).externally_congested(),
-    );
+    let t = run_test(&TestbedConfig::scaled(AccessParams::figure1(), 4243).externally_congested());
     let f = t.features.expect("features");
     assert_eq!(clf.classify(&f), CongestionClass::External);
 }

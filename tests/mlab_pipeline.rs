@@ -19,7 +19,11 @@ fn dispute_campaign_passes_mlab_filters() {
     // tests qualify (they are bulk downloads with a huge rwnd).
     let passing = tests
         .iter()
-        .filter(|t| t.measurement.web100.passes_mlab_filter(SimDuration::from_secs(2)))
+        .filter(|t| {
+            t.measurement
+                .web100
+                .passes_mlab_filter(SimDuration::from_secs(2))
+        })
         .count();
     assert!(
         passing as f64 > 0.9 * tests.len() as f64,
@@ -131,7 +135,9 @@ fn tslp_campaign_detection_and_classification_agree() {
     let mut clean_self = 0usize;
     let mut clean_total = 0usize;
     for t in &out.tests {
-        let Ok(f) = &t.measurement.features else { continue };
+        let Ok(f) = &t.measurement.features else {
+            continue;
+        };
         let pred = clf.classify(f);
         if t.during_episode {
             ep_total += 1;

@@ -22,7 +22,8 @@ fn verdict_survives_pcap_roundtrip() {
     // Run a fresh test, capture at the server.
     let cfg = TestbedConfig::scaled(AccessParams::figure1(), 987);
     let mut tb = testbed::build(&cfg);
-    tb.sim.run_until(tb.test_end + SimDuration::from_millis(500));
+    tb.sim
+        .run_until(tb.test_end + SimDuration::from_millis(500));
     let capture = tb.sim.take_capture(tb.capture);
 
     // Online verdicts.
@@ -56,7 +57,8 @@ fn verdict_survives_pcap_roundtrip() {
 fn pcap_file_has_standard_layout() {
     let cfg = TestbedConfig::scaled(AccessParams::figure1(), 988);
     let mut tb = testbed::build(&cfg);
-    tb.sim.run_until(tb.test_start + SimDuration::from_millis(500));
+    tb.sim
+        .run_until(tb.test_start + SimDuration::from_millis(500));
     let capture = tb.sim.take_capture(tb.capture);
     let mut buf = Vec::new();
     write_pcap(&capture, &mut buf).expect("export");

@@ -1,0 +1,242 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Same bench-authoring API surface as real criterion for what this
+//! workspace uses (`benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `iter`, `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros), but the runner is deliberately simple:
+//! each benchmark is warmed up once, then timed over `sample_size`
+//! samples whose iteration counts are auto-scaled so a sample takes a
+//! measurable amount of time. Results (mean time per iteration, plus
+//! derived throughput when configured) are printed to stdout. There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the throughput basis for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            &bencher.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the measured routine.
+pub struct Bencher {
+    /// (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling iterations per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count that gives a
+        // measurable (~5ms) sample, starting from a single call.
+        let once = time(|| {
+            std_black_box(routine());
+        });
+        let iters =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
+        for _ in 0..self.sample_size {
+            let elapsed = time(|| {
+                for _ in 0..iters {
+                    std_black_box(routine());
+                }
+            });
+            self.samples.push((elapsed, iters));
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let elapsed = time(|| {
+                std_black_box(routine(input));
+            });
+            self.samples.push((elapsed, 1));
+        }
+    }
+}
+
+fn time<F: FnOnce()>(f: F) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+fn report(id: &str, samples: &[(Duration, u64)], throughput: Option<Throughput>) {
+    let (total, iters) = samples
+        .iter()
+        .fold((Duration::ZERO, 0u64), |(d, n), &(sd, sn)| (d + sd, n + sn));
+    if iters == 0 {
+        println!("{id}: no samples");
+        return;
+    }
+    let per_iter_ns = total.as_nanos() as f64 / iters as f64;
+    let mut line = format!("{id}: {} per iter", fmt_ns(per_iter_ns));
+    if let Some(t) = throughput {
+        let (units, label) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = units as f64 / (per_iter_ns / 1e9);
+        line.push_str(&format!(" ({rate:.3e} {label})"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions, optionally with a configured `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

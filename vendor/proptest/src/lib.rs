@@ -1,0 +1,125 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`, `name in strategy` and
+//! `name: Type` argument forms), [`prop_assert!`]/[`prop_assert_eq!`],
+//! range strategies over primitives, tuple strategies,
+//! [`collection::vec`], and [`prelude::any`]. Unlike real proptest
+//! there is no shrinking: each test runs `cases` deterministic cases
+//! (seeded per test name and case index, so failures reproduce across
+//! runs), and on panic the failing inputs are printed before the panic
+//! is re-raised. `.proptest-regressions` files are not read or
+//! written.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use crate::strategy::any;
+
+/// Define property tests. Each `fn` becomes a `#[test]` running
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run!($cfg, stringify!($name), ($($args)*), $body);
+        }
+        $crate::__proptest_fns!(@cfg($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($cfg:expr, $name:expr, ($($args:tt)*), $body:block) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let __name: &str = $name;
+        for __case in 0..__cfg.cases {
+            let mut __rng = $crate::test_runner::case_rng(__name, __case);
+            let mut __dbg: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                $crate::__proptest_case!(__rng, __dbg, $body, $($args)*)
+            }));
+            if let ::std::result::Result::Err(__payload) = __outcome {
+                eprintln!(
+                    "proptest: `{}` failed at case {}/{} with inputs:",
+                    __name,
+                    __case + 1,
+                    __cfg.cases
+                );
+                for __line in &__dbg {
+                    eprintln!("    {}", __line);
+                }
+                ::std::panic::resume_unwind(__payload);
+            }
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, $dbg:ident, $body:block $(,)?) => { $body };
+    ($rng:ident, $dbg:ident, $body:block, $var:ident in $strat:expr $(, $($rest:tt)*)?) => {{
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $dbg.push(format!("{} = {:?}", stringify!($var), &$var));
+        $crate::__proptest_case!($rng, $dbg, $body $(, $($rest)*)?)
+    }};
+    ($rng:ident, $dbg:ident, $body:block, $var:ident: $ty:ty $(, $($rest:tt)*)?) => {{
+        let $var = $crate::strategy::Strategy::generate(
+            &$crate::strategy::any::<$ty>(),
+            &mut $rng,
+        );
+        $dbg.push(format!("{} = {:?}", stringify!($var), &$var));
+        $crate::__proptest_case!($rng, $dbg, $body $(, $($rest)*)?)
+    }};
+}
+
+/// Assert inside a property test (panics, like `assert!`; the runner
+/// prints the failing inputs before propagating).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,266 @@
+//! Distributions: the `Standard` value distribution and uniform range
+//! sampling, algorithm-compatible with rand 0.8.
+
+use crate::{Rng, RngCore};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full-range integers, `[0, 1)`
+/// floats, fair booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_int_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int_from_u32!(u8, i8, u16, i16, u32, i32);
+standard_int_from_u64!(u64, i64, usize, isize, u128, i128);
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Compare against the most significant bit of a u32 (the least
+        // significant bits of weaker RNGs can show simple patterns).
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// 53-bit-precision multiply: `(x >> 11) * 2^-53`, in `[0, 1)`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// 24-bit-precision multiply, in `[0, 1)`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling with rand 0.8's single-sample algorithms.
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Sample from `[low, high)`.
+        fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Sample from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range types usable with [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Sample one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_exclusive(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start() <= self.end(), "cannot sample empty range");
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Widening multiply returning `(high, low)` halves.
+    macro_rules! wmul {
+        ($v:expr, $range:expr, u32) => {{
+            let m = ($v as u64).wrapping_mul($range as u64);
+            ((m >> 32) as u32, m as u32)
+        }};
+        ($v:expr, $range:expr, u64) => {{
+            let m = ($v as u128).wrapping_mul($range as u128);
+            ((m >> 64) as u64, m as u64)
+        }};
+    }
+
+    /// rand 0.8 `UniformInt::sample_single`/`sample_single_inclusive`:
+    /// widening-multiply with a conservative rejection zone computed
+    /// from the range's leading zeros.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:tt) => {
+            impl SampleUniform for $ty {
+                fn sample_exclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = wmul!(v, range, $u_large);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                    if range == 0 {
+                        // The whole type's range: any value is in bounds.
+                        return rng.gen();
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = wmul!(v, range, $u_large);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u8, u8, u32);
+    uniform_int_impl!(i8, u8, u32);
+    uniform_int_impl!(u16, u16, u32);
+    uniform_int_impl!(i16, u16, u32);
+    uniform_int_impl!(u32, u32, u32);
+    uniform_int_impl!(i32, u32, u32);
+    uniform_int_impl!(u64, u64, u64);
+    uniform_int_impl!(i64, u64, u64);
+    uniform_int_impl!(usize, usize, u64);
+    uniform_int_impl!(isize, usize, u64);
+
+    /// rand 0.8 `UniformFloat::sample_single`: a value in `[1, 2)` from
+    /// 52 mantissa bits, shifted into `value0_1 * scale + low`.
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bias:expr, $mantissa_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_exclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let mut scale = high - low;
+                    debug_assert!(scale.is_finite(), "range must be finite");
+                    loop {
+                        let bits: $uty = Standard.sample(rng);
+                        let value1_2 = <$ty>::from_bits(
+                            (bits >> $bits_to_discard)
+                                | (($exponent_bias as $uty) << $mantissa_bits),
+                        );
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // Rounding pushed the result to `high`: shrink
+                        // the scale one ULP and retry (rare).
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    // Floats: treat inclusive as exclusive with the same
+                    // algorithm (matching rand's approximation).
+                    if low == high {
+                        return low;
+                    }
+                    Self::sample_exclusive(low, high, rng)
+                }
+            }
+        };
+    }
+
+    // f64: keep 52 mantissa bits of a u64, exponent bias 1023.
+    uniform_float_impl!(f64, u64, 12, 1023u64, 52);
+    // f32: keep 23 mantissa bits of a u32, exponent bias 127.
+    uniform_float_impl!(f32, u32, 9, 127u32, 23);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_bool_is_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_600..5_400).contains(&trues), "{trues}");
+    }
+
+    #[test]
+    fn uniform_small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            match rng.gen_range(5u64..=15) {
+                5 => lo_seen = true,
+                15 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Concrete generators. Only [`StdRng`] is provided: a ChaCha cipher
+//! with 12 rounds (rand 0.8's choice) behind a 4-block output buffer
+//! whose word-serving order replicates `rand_core`'s `BlockRng`.
+
+use crate::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+const BUFFER_BLOCKS: usize = 4;
+const BUFFER_WORDS: usize = BLOCK_WORDS * BUFFER_BLOCKS;
+/// ChaCha constants: "expand 32-byte k".
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The standard deterministic generator: ChaCha12.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the ChaCha state).
+    counter: u64,
+    /// 64-bit stream id (words 14–15); always 0 for seeded use.
+    stream: u64,
+    buf: [u32; BUFFER_WORDS],
+    /// Next word to serve; `BUFFER_WORDS` means "buffer exhausted".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn block(&self, counter: u64) -> [u32; BLOCK_WORDS] {
+        let mut init = [0u32; BLOCK_WORDS];
+        init[..4].copy_from_slice(&CONSTANTS);
+        init[4..12].copy_from_slice(&self.key);
+        init[12] = counter as u32;
+        init[13] = (counter >> 32) as u32;
+        init[14] = self.stream as u32;
+        init[15] = (self.stream >> 32) as u32;
+
+        let mut state = init;
+        // 12 rounds = 6 double rounds (column + diagonal).
+        for _ in 0..6 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(init) {
+            *s = s.wrapping_add(i);
+        }
+        state
+    }
+
+    /// Refill the buffer with the next 4 blocks and reset the cursor to
+    /// `index`.
+    fn generate_and_set(&mut self, index: usize) {
+        for blk in 0..BUFFER_BLOCKS {
+            let words = self.block(self.counter.wrapping_add(blk as u64));
+            self.buf[blk * BLOCK_WORDS..(blk + 1) * BLOCK_WORDS].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add(BUFFER_BLOCKS as u64);
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.buf[self.index];
+        self.index += 1;
+        value
+    }
+
+    /// `BlockRng`-compatible 64-bit reads: two consecutive words
+    /// little-endian, with the upstream's split-read behaviour when
+    /// exactly one word remains in the buffer.
+    fn next_u64(&mut self) -> u64 {
+        let read =
+            |buf: &[u32; BUFFER_WORDS], i: usize| u64::from(buf[i + 1]) << 32 | u64::from(buf[i]);
+        if self.index < BUFFER_WORDS - 1 {
+            let i = self.index;
+            self.index += 2;
+            read(&self.buf, i)
+        } else if self.index >= BUFFER_WORDS {
+            self.generate_and_set(2);
+            read(&self.buf, 0)
+        } else {
+            let low = u64::from(self.buf[BUFFER_WORDS - 1]);
+            self.generate_and_set(1);
+            let high = u64::from(self.buf[0]);
+            (high << 32) | low
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector, adapted: with the RFC key/nonce and
+    /// 20 rounds the first state word is fixed. We cannot check ChaCha12
+    /// against the RFC (it only specifies ChaCha20), but the underlying
+    /// block structure is shared; this guards the quarter-round and the
+    /// state layout by running 10 double rounds instead of 6.
+    #[test]
+    fn chacha20_block_matches_rfc8439() {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            let b = 4 * i as u32;
+            *k = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        let mut init = [0u32; BLOCK_WORDS];
+        init[..4].copy_from_slice(&CONSTANTS);
+        init[4..12].copy_from_slice(&key);
+        init[12] = 1; // counter
+        init[13] = 0x0900_0000;
+        init[14] = 0x4a00_0000;
+        init[15] = 0;
+        let mut state = init;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(init) {
+            *s = s.wrapping_add(i);
+        }
+        assert_eq!(state[0], 0xe4e7_f110);
+        assert_eq!(state[1], 0x1559_3bd1);
+        assert_eq!(state[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn word_order_is_block_sequential() {
+        // Consuming 64 u32s must equal the 4 blocks at counters 0..4.
+        let mut rng = StdRng::from_seed([7u8; 32]);
+        let reference = StdRng::from_seed([7u8; 32]);
+        for blk in 0..4u64 {
+            let words = reference.block(blk);
+            for w in words {
+                assert_eq!(rng.next_u32(), w);
+            }
+        }
+    }
+
+    #[test]
+    fn split_u64_read_spans_refills() {
+        // Consume 63 u32s, then a u64: it must take the last word of
+        // the old buffer as the low half and the first word of the new
+        // buffer as the high half.
+        let mut rng = StdRng::from_seed([9u8; 32]);
+        let probe = StdRng::from_seed([9u8; 32]);
+        for _ in 0..BUFFER_WORDS - 1 {
+            rng.next_u32();
+        }
+        let old_last = probe.block(3)[15];
+        let new_first = probe.block(4)[0];
+        let expect = (u64::from(new_first) << 32) | u64::from(old_last);
+        assert_eq!(rng.next_u64(), expect);
+    }
+}

@@ -1,0 +1,443 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline):
+//! the item is walked token-by-token to extract the name, fields, and
+//! variants, and the impl is generated as a string then re-parsed into
+//! a `TokenStream`. Supported shapes — non-generic structs (named,
+//! tuple/newtype, unit) and non-generic enums (unit, newtype, tuple,
+//! struct variants), externally tagged like real serde. Field/variant
+//! attributes (`#[serde(...)]` etc.) are not supported and generics
+//! are rejected with a clear panic; nothing in this workspace uses
+//! either.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (Value-model subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Serialize)
+        .parse()
+        .expect("serde_derive generated invalid Rust for Serialize")
+}
+
+/// Derive `serde::Deserialize` (Value-model subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Deserialize)
+        .parse()
+        .expect("serde_derive generated invalid Rust for Deserialize")
+}
+
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields (1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    /// Tuple variant with this many fields (1 = newtype).
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("serde_derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive: expected `{{` after `enum {name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    }
+}
+
+/// Skip any `#[...]` (and `#![...]`) attributes at the cursor.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Split a field/variant list at top-level commas. Parens, brackets and
+/// braces arrive as atomic `Group`s, so only `<`/`>` depth needs tracking
+/// (for types like `Result<FlowFeatures, FeatureError>`).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Field names of a named-fields body (`{ a: T, pub b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                None => VariantFields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => panic!(
+                    "serde_derive: unsupported tokens after variant `{name}` \
+                     (explicit discriminants are not supported): {other:?}"
+                ),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn generate(item: &Item, dir: Direction) -> String {
+    match dir {
+        Direction::Serialize => gen_serialize(item),
+        Direction::Deserialize => gen_deserialize(item),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => {
+            format!("{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),")
+        }
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![\
+             ({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                 ({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                 ({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__field(__obj, {f:?})?)\
+                         .map_err(|e| e.context(\"{name}.{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object for struct {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::serde::Deserialize::from_value(__v)\
+             .map({name})\
+             .map_err(|e| e.context(\"{name}\"))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&__items[{i}])\
+                         .map_err(|e| e.context(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for tuple struct {name}\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::DeError::new(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", __items.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match __v {{ ::serde::Value::Null => Ok({name}), other => \
+             Err(::serde::DeError::new(format!(\"expected null for unit struct {name}, \
+             got {{other:?}}\"))) }}"
+        ),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| de_tagged_arm(name, v))
+        .collect();
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {}\n\
+         __other => Err(::serde::DeError::new(format!(\
+         \"unknown unit variant `{{__other}}` for enum {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __inner) = &__entries[0];\n\
+         let _ = __inner;\n\
+         match __tag.as_str() {{\n\
+         {}\n\
+         __other => Err(::serde::DeError::new(format!(\
+         \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => Err(::serde::DeError::new(format!(\
+         \"expected variant of enum {name}, got {{__other:?}}\"))),\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n"),
+    )
+}
+
+fn de_tagged_arm(name: &str, v: &Variant) -> Option<String> {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => None,
+        VariantFields::Tuple(1) => Some(format!(
+            "{vname:?} => ::serde::Deserialize::from_value(__inner)\
+             .map({name}::{vname})\
+             .map_err(|e| e.context(\"{name}::{vname}\")),"
+        )),
+        VariantFields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&__items[{i}])\
+                         .map_err(|e| e.context(\"{name}::{vname}.{i}\"))?"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "{vname:?} => {{\n\
+                 let __items = __inner.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for variant {name}::{vname}\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::DeError::new(format!(\
+                 \"expected {n} elements for {name}::{vname}, got {{}}\", __items.len()))); }}\n\
+                 Ok({name}::{vname}({}))\n\
+                 }},",
+                inits.join(", ")
+            ))
+        }
+        VariantFields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__field(__obj, {f:?})?)\
+                         .map_err(|e| e.context(\"{name}::{vname}.{f}\"))?"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "{vname:?} => {{\n\
+                 let __obj = __inner.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object for variant {name}::{vname}\"))?;\n\
+                 Ok({name}::{vname} {{ {} }})\n\
+                 }},",
+                inits.join(", ")
+            ))
+        }
+    }
+}

@@ -2,9 +2,9 @@
 //! saw.
 
 use crate::classifier::{SignatureClassifier, Verdict};
+use crate::live::LiveAnalyzer;
 use csig_features::FeatureError;
 use csig_netsim::{Capture, FlowId};
-use csig_trace::split_flows;
 
 /// Per-flow outcome of analyzing a capture.
 #[derive(Debug, Clone)]
@@ -16,14 +16,16 @@ pub struct FlowReport {
 }
 
 /// Classify every TCP flow in a server-side capture.
+///
+/// Replays the buffered capture through [`LiveAnalyzer`], so the batch
+/// and streaming paths share one classification code path; reports come
+/// back ordered by flow id.
 pub fn analyze_capture(clf: &SignatureClassifier, cap: &Capture) -> Vec<FlowReport> {
-    split_flows(cap)
-        .values()
-        .map(|trace| FlowReport {
-            flow: trace.flow,
-            verdict: clf.classify_trace(trace),
-        })
-        .collect()
+    let mut live = LiveAnalyzer::new(clf.clone());
+    for rec in &cap.records {
+        live.push(rec);
+    }
+    live.finish()
 }
 
 #[cfg(test)]

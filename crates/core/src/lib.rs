@@ -22,7 +22,11 @@
 //! [`SignatureClassifier`] wraps the whole pipeline; [`training`]
 //! builds models from testbed sweeps with the paper's
 //! congestion-threshold labeling; [`analysis`] applies a model to every
-//! flow of a capture.
+//! flow of a capture. The same pipeline runs online: [`LiveAnalyzer`]
+//! is a packet sink that classifies each flow the moment it closes,
+//! retaining only bounded per-flow state, and [`analyze_capture`]
+//! replays buffered captures through it so both paths share one code
+//! path and produce identical reports.
 //!
 //! ## Example
 //!
@@ -57,11 +61,13 @@
 
 pub mod analysis;
 pub mod classifier;
+pub mod live;
 pub mod training;
 pub mod web100_mode;
 
 pub use analysis::{analyze_capture, FlowReport};
 pub use classifier::{ModelMeta, SignatureClassifier, Verdict};
+pub use live::LiveAnalyzer;
 pub use training::{
     dataset_at_threshold, ground_truth_accuracy, threshold_point, threshold_sweep,
     train_from_results, train_sweep, GroundTruthAccuracy, ThresholdPoint,

@@ -1,0 +1,296 @@
+//! Streaming capture analysis: classify flows the moment they close.
+//!
+//! [`LiveAnalyzer`] is the online equivalent of
+//! [`analyze_capture`](crate::analysis::analyze_capture): attached as a
+//! [`PacketSink`] (or fed records by hand) it demultiplexes the packet
+//! stream to one [`FlowProbe`] per flow, watches each flow's FIN
+//! exchange, and emits a [`FlowReport`] as soon as the flow completes —
+//! no capture buffer, no post-processing pass. State is bounded: one
+//! probe per *open* flow plus a tombstone per closed flow id (flow ids
+//! are never reused by the simulator, so a tombstone is one integer in
+//! a set, not retained packet data).
+//!
+//! The batch path replays a buffered capture through this same type,
+//! so both paths produce identical reports by construction.
+
+use crate::analysis::FlowReport;
+use crate::classifier::{SignatureClassifier, Verdict};
+use csig_features::FlowProbe;
+use csig_netsim::{Direction, FlowId, PacketRecord, PacketSink};
+use csig_trace::OffsetTracker;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Watches one flow's FIN exchange from the server-side tap.
+///
+/// A download flow is complete when the tap node's FIN has been
+/// cumulatively acknowledged *and* the remote side has sent its own
+/// FIN. Records after that point cannot change the flow's verdict (all
+/// data is acked, the ack accountant is capped at the FIN, and pure
+/// ACKs/RSTs carry no payload), so the analyzer stops tracking the
+/// flow.
+#[derive(Debug, Clone, Default)]
+struct FinWatcher {
+    tracker: Option<OffsetTracker>,
+    fin_end: Option<u64>,
+    in_fin: bool,
+    fin_acked: bool,
+}
+
+impl FinWatcher {
+    fn push(&mut self, rec: &PacketRecord) {
+        let Some(h) = rec.pkt.tcp() else { return };
+        match rec.dir {
+            Direction::Out => {
+                if h.flags.syn() {
+                    if self.tracker.is_none() {
+                        self.tracker = Some(OffsetTracker::new(h.seq));
+                    }
+                    return;
+                }
+                if h.payload_len == 0 && !h.flags.fin() {
+                    return;
+                }
+                let tr = self
+                    .tracker
+                    .get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
+                let start = tr.offset(h.seq);
+                if h.flags.fin() {
+                    // The FIN occupies one sequence slot after the payload.
+                    self.fin_end = Some(start + h.payload_len as u64 + 1);
+                }
+            }
+            Direction::In => {
+                if h.flags.fin() {
+                    self.in_fin = true;
+                }
+                if !h.flags.ack() {
+                    return;
+                }
+                let (Some(tr), Some(fin_end)) = (self.tracker.as_ref(), self.fin_end) else {
+                    return;
+                };
+                let ack_off = csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, fin_end);
+                if ack_off >= fin_end {
+                    self.fin_acked = true;
+                }
+            }
+        }
+    }
+
+    fn closed(&self) -> bool {
+        self.in_fin && self.fin_acked
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LiveFlow {
+    probe: FlowProbe,
+    fin: FinWatcher,
+}
+
+/// Streaming equivalent of [`analyze_capture`](crate::analyze_capture):
+/// classifies every flow of a packet stream, emitting each verdict the
+/// moment the flow's FIN exchange completes.
+///
+/// ```
+/// # use csig_core::{LiveAnalyzer, SignatureClassifier, ModelMeta};
+/// # use csig_dtree::{Dataset, TreeParams};
+/// # use csig_features::CongestionClass;
+/// # let mut data = Dataset::new();
+/// # for i in 0..20 {
+/// #     let x = i as f64 / 20.0;
+/// #     data.push(vec![0.7 + 0.3 * x, 0.2 + 0.1 * x], CongestionClass::SelfInduced.index());
+/// #     data.push(vec![0.2 * x, 0.05 * x], CongestionClass::External.index());
+/// # }
+/// # let meta = ModelMeta {
+/// #     congestion_threshold: 0.8,
+/// #     trained_on: "docs".into(),
+/// #     n_train: data.len(),
+/// #     n_filtered: 0,
+/// # };
+/// # let clf = SignatureClassifier::train(&data, TreeParams::default(), meta);
+/// let mut live = LiveAnalyzer::new(clf);
+/// // … feed records as they are captured: live.push(&record) …
+/// let reports = live.finish(); // flows still open are classified too
+/// assert!(reports.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LiveAnalyzer {
+    clf: SignatureClassifier,
+    flows: BTreeMap<FlowId, LiveFlow>,
+    closed: BTreeSet<FlowId>,
+    done: Vec<FlowReport>,
+}
+
+impl LiveAnalyzer {
+    /// An analyzer classifying with `clf`.
+    pub fn new(clf: SignatureClassifier) -> Self {
+        LiveAnalyzer {
+            clf,
+            flows: BTreeMap::new(),
+            closed: BTreeSet::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Consume one record, routing it to its flow's probe. If this
+    /// record completes the flow's FIN exchange, the flow's report is
+    /// queued (see [`LiveAnalyzer::drain_completed`]) and its state
+    /// dropped.
+    pub fn push(&mut self, rec: &PacketRecord) {
+        let flow = rec.pkt.flow;
+        if self.closed.contains(&flow) {
+            return;
+        }
+        let lf = self.flows.entry(flow).or_insert_with(|| LiveFlow {
+            probe: FlowProbe::new(flow),
+            fin: FinWatcher::default(),
+        });
+        lf.probe.push(rec);
+        lf.fin.push(rec);
+        if lf.fin.closed() {
+            let lf = self.flows.remove(&flow).expect("just inserted");
+            self.closed.insert(flow);
+            self.done.push(report_for(&self.clf, &lf.probe));
+        }
+    }
+
+    /// Number of flows still being tracked.
+    pub fn open_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Reports of flows that have closed and not been drained yet.
+    pub fn completed(&self) -> &[FlowReport] {
+        &self.done
+    }
+
+    /// Take the reports of flows that closed since the last drain.
+    pub fn drain_completed(&mut self) -> Vec<FlowReport> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Classify any still-open flows and return all undrained reports,
+    /// ordered by flow id (the order
+    /// [`analyze_capture`](crate::analyze_capture) reports in).
+    pub fn finish(mut self) -> Vec<FlowReport> {
+        for (_, lf) in std::mem::take(&mut self.flows) {
+            self.done.push(report_for(&self.clf, &lf.probe));
+        }
+        self.done.sort_by_key(|r| r.flow);
+        self.done
+    }
+}
+
+impl PacketSink for LiveAnalyzer {
+    fn on_record(&mut self, rec: &PacketRecord) {
+        self.push(rec);
+    }
+}
+
+/// Classify one probe's accumulated state — the streaming mirror of
+/// [`SignatureClassifier::classify_trace`].
+fn report_for(clf: &SignatureClassifier, probe: &FlowProbe) -> FlowReport {
+    let verdict = probe.features().map(|features| {
+        let (class, confidence) = clf.classify_with_confidence(&features);
+        Verdict {
+            class,
+            confidence,
+            features,
+            slow_start: probe.slow_start(),
+        }
+    });
+    FlowReport {
+        flow: probe.flow(),
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_capture;
+    use crate::classifier::{ModelMeta, SignatureClassifier};
+    use csig_dtree::TreeParams;
+    use csig_netsim::{LinkConfig, SimDuration, Simulator};
+    use csig_tcp::{ClientBehavior, ServerSendPolicy, TcpClientAgent, TcpConfig, TcpServerAgent};
+
+    fn tiny_model() -> SignatureClassifier {
+        let mut d = csig_dtree::Dataset::new();
+        for i in 0..20 {
+            let x = i as f64 / 20.0;
+            d.push(vec![0.6 + 0.4 * x, 0.15 + 0.2 * x], 0);
+            d.push(vec![0.3 * x, 0.05 * x], 1);
+        }
+        SignatureClassifier::train(
+            &d,
+            TreeParams::default(),
+            ModelMeta {
+                congestion_threshold: 0.8,
+                trained_on: "unit".into(),
+                n_train: 40,
+                n_filtered: 0,
+            },
+        )
+    }
+
+    /// One simulation, two taps on the server: a buffering capture and
+    /// a live analyzer. The live verdicts must match the batch pipeline
+    /// report for report.
+    #[test]
+    fn live_matches_batch_on_simulated_run() {
+        let clf = tiny_model();
+        let mut sim = Simulator::new(21);
+        let server = sim.add_host(Box::new(TcpServerAgent::new(
+            TcpConfig::default(),
+            ServerSendPolicy::Fixed(4_000_000),
+        )));
+        let client = sim.add_host(Box::new(TcpClientAgent::new(
+            server,
+            TcpConfig::default(),
+            ClientBehavior::Once,
+            77,
+        )));
+        sim.add_duplex_link(
+            server,
+            client,
+            LinkConfig::new(20_000_000, SimDuration::from_millis(20)).buffer_ms(100),
+        );
+        sim.compute_routes();
+        let cap = sim.attach_capture(server);
+        let live_h = sim.attach_sink(server, Box::new(LiveAnalyzer::new(clf.clone())));
+        sim.set_event_budget(50_000_000);
+        sim.run();
+
+        let live: &LiveAnalyzer = sim.sink(live_h).expect("live analyzer tap");
+        // The download completes inside the run: the verdict streamed
+        // out before the simulation even ended.
+        assert_eq!(live.completed().len(), 1);
+        assert_eq!(live.open_flows(), 0);
+
+        let live_reports = live.clone().finish();
+        let capture = sim.take_capture(cap);
+        let batch_reports = analyze_capture(&clf, &capture);
+        assert_eq!(live_reports.len(), batch_reports.len());
+        for (l, b) in live_reports.iter().zip(&batch_reports) {
+            assert_eq!(l.flow, b.flow);
+            match (&l.verdict, &b.verdict) {
+                (Ok(lv), Ok(bv)) => {
+                    assert_eq!(lv.class, bv.class);
+                    assert_eq!(lv.confidence, bv.confidence);
+                    assert_eq!(lv.features, bv.features);
+                    assert_eq!(lv.slow_start, bv.slow_start);
+                }
+                (Err(le), Err(be)) => assert_eq!(le, be),
+                (l, b) => panic!("verdict mismatch: {l:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_no_reports() {
+        let live = LiveAnalyzer::new(tiny_model());
+        assert_eq!(live.open_flows(), 0);
+        assert!(live.finish().is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 //! from its seed, so the artifact vector depends only on the campaign
 //! definition — never on `jobs`, thread scheduling, or wall-clock.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cli;

@@ -112,24 +112,73 @@ impl std::fmt::Display for FeatureError {
 
 impl std::error::Error for FeatureError {}
 
+/// Online feature accumulator: the streaming core behind
+/// [`features_from_rtts_ms`].
+///
+/// Wraps the one-pass [`Summary`] (Welford), so NormDiff and CoV update
+/// per RTT sample in O(1) state — no sample vector is retained. Pushing
+/// samples in trace order produces bit-identical floats to the batch
+/// path, which folds the same `Summary` over the same values.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FeatureAccumulator {
+    summary: Summary,
+}
+
+impl Default for FeatureAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeatureAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FeatureAccumulator {
+            summary: Summary::new(),
+        }
+    }
+
+    /// Add one slow-start RTT sample, in milliseconds.
+    pub fn push(&mut self, rtt_ms: f64) {
+        self.summary.push(rtt_ms);
+    }
+
+    /// Number of samples pushed so far.
+    pub fn count(&self) -> usize {
+        self.summary.count() as usize
+    }
+
+    /// The feature vector implied by the samples seen so far.
+    pub fn finish(&self) -> Result<FlowFeatures, FeatureError> {
+        let got = self.count();
+        if got < MIN_SAMPLES {
+            return Err(FeatureError::TooFewSamples { got });
+        }
+        let max = self.summary.max().expect("non-empty");
+        let min = self.summary.min().expect("non-empty");
+        if max <= 0.0 {
+            return Err(FeatureError::DegenerateRtt);
+        }
+        Ok(FlowFeatures {
+            norm_diff: (max - min) / max,
+            cov: self.summary.cov(),
+            samples: got,
+            min_rtt_ms: min,
+            max_rtt_ms: max,
+        })
+    }
+}
+
 /// Compute features from raw RTT values in milliseconds.
+///
+/// Thin wrapper over [`FeatureAccumulator`]: replays the values through
+/// the streaming core.
 pub fn features_from_rtts_ms(rtts_ms: &[f64]) -> Result<FlowFeatures, FeatureError> {
-    if rtts_ms.len() < MIN_SAMPLES {
-        return Err(FeatureError::TooFewSamples { got: rtts_ms.len() });
+    let mut acc = FeatureAccumulator::new();
+    for &v in rtts_ms {
+        acc.push(v);
     }
-    let s = Summary::of(rtts_ms);
-    let max = s.max().expect("non-empty");
-    let min = s.min().expect("non-empty");
-    if max <= 0.0 {
-        return Err(FeatureError::DegenerateRtt);
-    }
-    Ok(FlowFeatures {
-        norm_diff: (max - min) / max,
-        cov: s.cov(),
-        samples: rtts_ms.len(),
-        min_rtt_ms: min,
-        max_rtt_ms: max,
-    })
+    acc.finish()
 }
 
 /// Compute features from trace-extracted samples, windowed to slow

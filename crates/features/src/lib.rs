@@ -9,15 +9,22 @@
 //! slow-start boundary from a server-side capture;
 //! [`features_from_samples`] windows the samples and reduces them to a
 //! [`FlowFeatures`] vector; `csig-dtree`/`csig-core` classify it.
+//!
+//! The streaming equivalents — [`FeatureAccumulator`] for online
+//! NormDiff/CoV and [`FlowProbe`] for the whole per-flow measurement
+//! pipeline as a [`PacketSink`](csig_netsim::PacketSink) — produce
+//! bit-identical results without buffering samples or records.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod features;
+pub mod probe;
 pub mod stats;
 
 pub use features::{
-    features_from_rtts_ms, features_from_samples, CongestionClass, FeatureError, FlowFeatures,
-    MIN_SAMPLES,
+    features_from_rtts_ms, features_from_samples, CongestionClass, FeatureAccumulator,
+    FeatureError, FlowFeatures, MIN_SAMPLES,
 };
+pub use probe::FlowProbe;
 pub use stats::{ecdf, median, percentile, Summary};

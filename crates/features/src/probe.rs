@@ -1,0 +1,301 @@
+//! Single-flow streaming analyzer: the full per-flow measurement
+//! pipeline as one [`PacketSink`].
+//!
+//! [`FlowProbe`] bundles the incremental cores from `csig-trace`
+//! ([`RttExtractor`], [`SlowStartTracker`], [`ThroughputTracker`]) with
+//! the online [`FeatureAccumulator`], consuming one packet record at a
+//! time and retaining only bounded per-flow state — no trace is
+//! buffered. Attached directly to a simulator node it replaces the
+//! capture-then-post-process path; `csig-core`'s `LiveAnalyzer` routes
+//! records of many flows to one probe each.
+//!
+//! ## Windowing invariant
+//!
+//! Records arrive in time order, so every RTT sample produced *before*
+//! the slow-start boundary fires carries a timestamp at or before the
+//! boundary and belongs in the feature window; once the boundary is
+//! known, samples are admitted only when `at <= boundary`. This is
+//! exactly the batch filter `s.at <= ss.boundary()`, applied online,
+//! and the accumulator sees the samples in the same order the batch
+//! path folds them — the resulting floats are bit-identical.
+
+use crate::features::{FeatureAccumulator, FeatureError, FlowFeatures};
+use csig_netsim::{FlowId, PacketRecord, PacketSink};
+use csig_trace::{RttExtractor, SlowStart, SlowStartTracker, ThroughputSummary, ThroughputTracker};
+
+/// Streaming per-flow analyzer: RTT extraction, slow-start detection,
+/// throughput accounting and feature accumulation in one pass.
+///
+/// Records of other flows are ignored, so a probe can be attached as a
+/// node-wide [`PacketSink`] on a multi-flow tap.
+#[derive(Debug, Clone)]
+pub struct FlowProbe {
+    flow: FlowId,
+    rtt: RttExtractor,
+    ss: SlowStartTracker,
+    tput: ThroughputTracker,
+    acc: FeatureAccumulator,
+    min_rtt_ms: Option<f64>,
+    samples_total: usize,
+}
+
+impl FlowProbe {
+    /// A fresh probe for one flow.
+    pub fn new(flow: FlowId) -> Self {
+        FlowProbe {
+            flow,
+            rtt: RttExtractor::new(),
+            ss: SlowStartTracker::new(),
+            tput: ThroughputTracker::new(),
+            acc: FeatureAccumulator::new(),
+            min_rtt_ms: None,
+            samples_total: 0,
+        }
+    }
+
+    /// The flow this probe measures.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Consume one record (records of other flows are ignored).
+    pub fn push(&mut self, rec: &PacketRecord) {
+        if rec.pkt.flow != self.flow {
+            return;
+        }
+        let sample = self.rtt.push(rec);
+        self.ss.push(rec);
+        self.tput.push(rec);
+        if let Some(s) = sample {
+            self.samples_total += 1;
+            let ms = s.rtt.as_millis_f64();
+            self.min_rtt_ms = Some(match self.min_rtt_ms {
+                Some(m) => m.min(ms),
+                None => ms,
+            });
+            if s.at <= self.ss.boundary() {
+                self.acc.push(ms);
+            }
+        }
+    }
+
+    /// Classifier features over the slow-start window seen so far.
+    pub fn features(&self) -> Result<FlowFeatures, FeatureError> {
+        self.acc.finish()
+    }
+
+    /// The slow-start window implied by the records seen so far.
+    pub fn slow_start(&self) -> SlowStart {
+        self.ss.snapshot()
+    }
+
+    /// Whole-flow goodput summary so far.
+    pub fn throughput(&self) -> ThroughputSummary {
+        self.tput.summary()
+    }
+
+    /// Late-slow-start capacity estimate (`None` while the window is
+    /// open or degenerate).
+    pub fn capacity_estimate_bps(&self) -> Option<f64> {
+        self.ss.capacity_estimate_bps()
+    }
+
+    /// Minimum RTT over *all* samples (not just slow start), in
+    /// milliseconds.
+    pub fn min_rtt_ms(&self) -> Option<f64> {
+        self.min_rtt_ms
+    }
+
+    /// Total RTT samples extracted (in and out of the window).
+    pub fn samples_total(&self) -> usize {
+        self.samples_total
+    }
+
+    /// Currently outstanding (sent, unacked, untainted) segments — the
+    /// probe's only variable-size state, bounded by the flow's window.
+    pub fn outstanding_len(&self) -> usize {
+        self.rtt.outstanding_len()
+    }
+}
+
+impl PacketSink for FlowProbe {
+    fn on_record(&mut self, rec: &PacketRecord) {
+        self.push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csig_netsim::{
+        Direction, NodeId, Packet, PacketId, PacketKind, SimTime, TcpFlags, TcpHeader, NO_SACK,
+    };
+    use csig_trace::{
+        capacity_estimate_bps, detect_slow_start, extract_rtt_samples, throughput_summary,
+        FlowTrace,
+    };
+
+    const ISS: u32 = 5000;
+
+    fn rec(
+        flow: u32,
+        dir: Direction,
+        t_ms: u64,
+        seq: u32,
+        ack: u32,
+        len: u32,
+        flags: TcpFlags,
+    ) -> PacketRecord {
+        PacketRecord {
+            time: SimTime::from_millis(t_ms),
+            dir,
+            pkt: Packet {
+                id: PacketId(0),
+                flow: FlowId(flow),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 52 + len,
+                sent_at: SimTime::from_millis(t_ms),
+                kind: PacketKind::Tcp(TcpHeader {
+                    seq,
+                    ack,
+                    flags,
+                    payload_len: len,
+                    window: 65535,
+                    sack: NO_SACK,
+                }),
+            },
+        }
+    }
+
+    /// A hand-built single-flow exchange: handshake, an RTT ramp with
+    /// enough clean samples, one retransmission, post-boundary acks.
+    fn sample_records() -> Vec<PacketRecord> {
+        let mut recs = vec![
+            rec(1, Direction::In, 0, 900, 0, 0, TcpFlags::SYN),
+            rec(
+                1,
+                Direction::Out,
+                1,
+                ISS,
+                901,
+                0,
+                TcpFlags::SYN | TcpFlags::ACK,
+            ),
+            rec(1, Direction::In, 2, 901, ISS + 1, 0, TcpFlags::ACK),
+        ];
+        // 14 data/ack pairs with a growing RTT (the self-induced ramp).
+        let mut off = 0u32;
+        for i in 0u64..14 {
+            let t = 10 + i * 20;
+            recs.push(rec(
+                1,
+                Direction::Out,
+                t,
+                ISS + 1 + off,
+                901,
+                1000,
+                TcpFlags::ACK,
+            ));
+            recs.push(rec(
+                1,
+                Direction::In,
+                t + 10 + i,
+                901,
+                ISS + 1 + off + 1000,
+                0,
+                TcpFlags::ACK,
+            ));
+            off += 1000;
+        }
+        // Retransmission closes the slow-start window.
+        recs.push(rec(
+            1,
+            Direction::Out,
+            400,
+            ISS + 1,
+            901,
+            1000,
+            TcpFlags::ACK,
+        ));
+        // Fresh data + ack after the boundary (out of window).
+        recs.push(rec(
+            1,
+            Direction::Out,
+            420,
+            ISS + 1 + off,
+            901,
+            1000,
+            TcpFlags::ACK,
+        ));
+        recs.push(rec(
+            1,
+            Direction::In,
+            470,
+            901,
+            ISS + 1 + off + 1000,
+            0,
+            TcpFlags::ACK,
+        ));
+        // An interleaved foreign flow the probe must ignore.
+        recs.insert(5, rec(2, Direction::Out, 12, 7000, 0, 1000, TcpFlags::ACK));
+        recs
+    }
+
+    #[test]
+    fn probe_matches_batch_pipeline_exactly() {
+        let records = sample_records();
+        let mut probe = FlowProbe::new(FlowId(1));
+        for r in &records {
+            probe.on_record(r);
+        }
+
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: records
+                .iter()
+                .filter(|r| r.pkt.flow == FlowId(1))
+                .cloned()
+                .collect(),
+        };
+        let samples = extract_rtt_samples(&trace);
+        let ss = detect_slow_start(&trace);
+        let batch_features = crate::features::features_from_samples(&samples, &ss);
+
+        assert_eq!(probe.slow_start(), ss);
+        assert!(ss.end.is_some(), "retransmission must close the window");
+        assert_eq!(probe.features(), batch_features);
+        assert_eq!(probe.throughput(), throughput_summary(&trace));
+        assert_eq!(
+            probe.capacity_estimate_bps(),
+            capacity_estimate_bps(&trace, &ss)
+        );
+        assert_eq!(probe.samples_total(), samples.len());
+        assert_eq!(
+            probe.min_rtt_ms(),
+            samples
+                .iter()
+                .map(|s| s.rtt.as_millis_f64())
+                .reduce(f64::min)
+        );
+        let f = probe.features().unwrap();
+        assert!(f.samples >= 10);
+        assert!(f.norm_diff > 0.0);
+    }
+
+    #[test]
+    fn empty_probe_is_degenerate_like_empty_trace() {
+        let probe = FlowProbe::new(FlowId(9));
+        let empty = FlowTrace {
+            flow: FlowId(9),
+            records: vec![],
+        };
+        assert_eq!(probe.slow_start(), detect_slow_start(&empty));
+        assert_eq!(probe.throughput(), throughput_summary(&empty));
+        assert_eq!(probe.min_rtt_ms(), None);
+        assert_eq!(
+            probe.features(),
+            Err(FeatureError::TooFewSamples { got: 0 })
+        );
+    }
+}

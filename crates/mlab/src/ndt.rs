@@ -19,13 +19,10 @@
 //! cross-traffic in `csig-testbed`).
 
 use crate::web100::Web100Log;
-use csig_features::{features_from_samples, FeatureError, FlowFeatures};
+use csig_features::{FeatureError, FlowFeatures, FlowProbe};
 use csig_netsim::{FlowId, LinkConfig, SimDuration, SimTime, Simulator};
 use csig_tcp::{ClientBehavior, ServerSendPolicy, TcpClientAgent, TcpConfig, TcpServerAgent};
-use csig_trace::{
-    detect_slow_start, extract_rtt_samples, split_flows, throughput_summary, SlowStart,
-    ThroughputSummary,
-};
+use csig_trace::{SlowStart, ThroughputSummary};
 use serde::{Deserialize, Serialize};
 
 /// Interconnect congestion state during a test.
@@ -169,7 +166,9 @@ pub fn run_ndt(path: &NdtPath) -> NdtMeasurement {
         LinkConfig::new(100_000_000, ms(path.access_latency_ms)).buffer_ms(20),
     );
     sim.compute_routes();
-    let cap = sim.attach_capture(server);
+    // Streaming tap at the server: the NDT analysis accumulates online,
+    // no capture is retained.
+    let probe = sim.attach_sink(server, Box::new(FlowProbe::new(NDT_FLOW)));
 
     let horizon = SimTime::ZERO + path.duration + SimDuration::from_millis(500);
     sim.set_event_budget(500_000_000);
@@ -190,23 +189,11 @@ pub fn run_ndt(path: &NdtPath) -> NdtMeasurement {
         .unwrap_or_default();
     let web100 = Web100Log::from_stats(&stats);
 
-    let capture = sim.take_capture(cap);
-    let flows = split_flows(&capture);
-    let trace = flows
-        .get(&NDT_FLOW)
-        .cloned()
-        .unwrap_or(csig_trace::FlowTrace {
-            flow: NDT_FLOW,
-            records: Vec::new(),
-        });
-    let samples = extract_rtt_samples(&trace);
-    let slow_start = detect_slow_start(&trace);
-    let throughput = throughput_summary(&trace);
-    let features = features_from_samples(&samples, &slow_start);
-    let min_rtt_ms = samples
-        .iter()
-        .map(|s| s.rtt.as_millis_f64())
-        .reduce(f64::min);
+    let probe: &FlowProbe = sim.sink(probe).expect("probe tap");
+    let slow_start = probe.slow_start();
+    let throughput = probe.throughput();
+    let features = probe.features();
+    let min_rtt_ms = probe.min_rtt_ms();
 
     NdtMeasurement {
         throughput_mbps: throughput.mean_bps / 1e6,

@@ -1,15 +1,20 @@
-//! Packet capture taps — the simulator's `tcpdump`.
+//! Packet taps — the simulator's `tcpdump`, generalized to streaming
+//! observers.
 //!
 //! The paper's methodology captures packets at the throughput server
-//! with `tcpdump` and post-processes them with `tshark`. A
-//! [`Capture`] attached to a node records every packet the node sends
-//! (`Out`) and receives (`In`), with the simulated timestamp; the
-//! `csig-trace` crate then performs the tshark-style analysis.
+//! with `tcpdump` and post-processes them with `tshark`. A tap is any
+//! [`PacketSink`] attached to a node: the simulator feeds it one
+//! [`PacketRecord`] at a time, as the node sends (`Out`) or receives
+//! (`In`) each packet. [`Capture`] is the buffering sink (record
+//! everything, analyze later); streaming sinks in `csig-trace`,
+//! `csig-features` and `csig-core` analyze records as they arrive and
+//! retain only per-flow state.
 
 use crate::ids::NodeId;
 use crate::packet::Packet;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 
 /// Which way a captured packet was travelling relative to the tap node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,9 +36,28 @@ pub struct PacketRecord {
     pub pkt: Packet,
 }
 
+/// A streaming packet-tap observer.
+///
+/// The simulator calls [`PacketSink::on_record`] once per packet the
+/// tapped node sends or receives, in event order (which equals
+/// timestamp order, FIFO on ties). Implementations decide what to
+/// retain: [`Capture`] buffers every record; incremental analyzers
+/// keep only bounded per-flow state.
+///
+/// The `Any` supertype allows the simulator to hand a sink back to its
+/// concrete type after a run (`Simulator::sink`/`Simulator::take_sink`).
+pub trait PacketSink: Any {
+    /// Observe one captured packet.
+    fn on_record(&mut self, rec: &PacketRecord);
+}
+
 /// Handle returned by `Simulator::attach_capture`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CaptureHandle(pub(crate) usize);
+
+/// Handle returned by `Simulator::attach_sink`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkHandle(pub(crate) usize);
 
 /// A tap attached to one node, accumulating [`PacketRecord`]s in
 /// capture order (which equals timestamp order).
@@ -76,6 +100,22 @@ impl Capture {
     pub fn flow(&self, flow: crate::ids::FlowId) -> impl Iterator<Item = &PacketRecord> {
         self.records.iter().filter(move |r| r.pkt.flow == flow)
     }
+}
+
+/// The buffer-everything sink: a `Capture` is just one kind of tap.
+impl PacketSink for Capture {
+    fn on_record(&mut self, rec: &PacketRecord) {
+        self.record(rec.time, rec.dir, &rec.pkt);
+    }
+}
+
+/// A sink that discards everything — placeholder left behind when a
+/// sink is taken out of the simulator mid-run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl PacketSink for NullSink {
+    fn on_record(&mut self, _rec: &PacketRecord) {}
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 //!   jitter and i.i.d. loss (the `tc tbf` + `netem` model).
 //! * [`Agent`] — protocol/application code on hosts (TCP endpoints and
 //!   traffic generators live in higher crates).
-//! * [`Capture`] — per-node packet taps (the simulator's `tcpdump`).
+//! * [`PacketSink`] — per-node packet taps, fed one record at a time;
+//!   [`Capture`] is the buffering sink (the simulator's `tcpdump`).
 //!
 //! ## Determinism
 //!
@@ -53,7 +54,9 @@ pub mod stats;
 pub mod time;
 
 pub use agent::{Agent, Command, Ctx, SinkAgent};
-pub use capture::{Capture, CaptureHandle, Direction, PacketRecord};
+pub use capture::{
+    Capture, CaptureHandle, Direction, NullSink, PacketRecord, PacketSink, SinkHandle,
+};
 pub use event::TimerToken;
 pub use ids::{FlowId, LinkId, NodeId, PacketId};
 pub use link::{BufferSize, Link, LinkConfig};

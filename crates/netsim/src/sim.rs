@@ -17,7 +17,9 @@
 //! produces identical captures.
 
 use crate::agent::{Agent, Command, Ctx};
-use crate::capture::{Capture, CaptureHandle, Direction};
+use crate::capture::{
+    Capture, CaptureHandle, Direction, NullSink, PacketRecord, PacketSink, SinkHandle,
+};
 use crate::event::{EventKind, EventQueue, TimerToken};
 use crate::ids::{LinkId, NodeId, PacketId};
 use crate::link::{EnqueueOutcome, Link, LinkConfig, ServiceOutcome};
@@ -45,6 +47,12 @@ enum NodeSlot {
     },
 }
 
+/// One packet tap: a node and the sink observing its traffic.
+struct Tap {
+    node: NodeId,
+    sink: Box<dyn PacketSink>,
+}
+
 /// Why [`Simulator::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -65,7 +73,7 @@ pub struct Simulator {
     link_rngs: Vec<StdRng>,
     /// `routes[node][dst] = link` (dense table; `None` = unreachable).
     routes: Vec<Vec<Option<LinkId>>>,
-    captures: Vec<Capture>,
+    taps: Vec<Tap>,
     next_packet_id: u64,
     seed: u64,
     events_processed: u64,
@@ -85,7 +93,7 @@ impl Simulator {
             links: Vec::new(),
             link_rngs: Vec::new(),
             routes: Vec::new(),
-            captures: Vec::new(),
+            taps: Vec::new(),
             next_packet_id: 0,
             seed,
             events_processed: 0,
@@ -245,21 +253,59 @@ impl Simulator {
             .flatten()
     }
 
-    /// Attach a capture tap to `node`.
-    pub fn attach_capture(&mut self, node: NodeId) -> CaptureHandle {
+    /// Attach a streaming packet sink to `node`. The sink sees every
+    /// packet the node sends or receives, one [`PacketRecord`] at a
+    /// time, in event order.
+    pub fn attach_sink(&mut self, node: NodeId, sink: Box<dyn PacketSink>) -> SinkHandle {
         assert!(node.index() < self.nodes.len(), "unknown node");
-        self.captures.push(Capture::new(node));
-        CaptureHandle(self.captures.len() - 1)
+        self.taps.push(Tap { node, sink });
+        SinkHandle(self.taps.len() - 1)
+    }
+
+    /// Read an attached sink back as its concrete type (`None` if the
+    /// handle's sink is of a different type).
+    pub fn sink<T: PacketSink>(&self, h: SinkHandle) -> Option<&T> {
+        (self.taps[h.0].sink.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to an attached sink as its concrete type.
+    pub fn sink_mut<T: PacketSink>(&mut self, h: SinkHandle) -> Option<&mut T> {
+        (self.taps[h.0].sink.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Detach and return a sink; the tap stops observing from then on.
+    pub fn take_sink(&mut self, h: SinkHandle) -> Box<dyn PacketSink> {
+        self.taps[h.0].node = NodeId(u32::MAX);
+        std::mem::replace(&mut self.taps[h.0].sink, Box::new(NullSink))
+    }
+
+    /// Attach a buffering capture tap to `node` — shorthand for
+    /// [`Simulator::attach_sink`] with a [`Capture`] sink.
+    pub fn attach_capture(&mut self, node: NodeId) -> CaptureHandle {
+        CaptureHandle(self.attach_sink(node, Box::new(Capture::new(node))).0)
     }
 
     /// Read a capture.
+    ///
+    /// # Panics
+    /// Panics if the handle's tap does not hold a [`Capture`] sink.
     pub fn capture(&self, h: CaptureHandle) -> &Capture {
-        &self.captures[h.0]
+        self.sink::<Capture>(SinkHandle(h.0))
+            .expect("handle is not a capture tap")
     }
 
     /// Remove and return a capture (e.g. to hand to trace analysis).
+    ///
+    /// # Panics
+    /// Panics if the handle's tap does not hold a [`Capture`] sink.
     pub fn take_capture(&mut self, h: CaptureHandle) -> Capture {
-        std::mem::replace(&mut self.captures[h.0], Capture::new(NodeId(u32::MAX)))
+        let cap = std::mem::replace(
+            self.sink_mut::<Capture>(SinkHandle(h.0))
+                .expect("handle is not a capture tap"),
+            Capture::new(NodeId(u32::MAX)),
+        );
+        self.taps[h.0].node = NodeId(u32::MAX);
+        cap
     }
 
     /// Link statistics.
@@ -466,9 +512,17 @@ impl Simulator {
     }
 
     fn record_capture(&mut self, node: NodeId, dir: Direction, pkt: &Packet) {
-        for c in &mut self.captures {
-            if c.node == node {
-                c.record(self.now, dir, pkt);
+        if !self.taps.iter().any(|t| t.node == node) {
+            return;
+        }
+        let rec = PacketRecord {
+            time: self.now,
+            dir,
+            pkt: pkt.clone(),
+        };
+        for t in &mut self.taps {
+            if t.node == node {
+                t.sink.on_record(&rec);
             }
         }
     }
@@ -929,6 +983,50 @@ mod tests {
         let cap = sim.take_capture(h);
         assert_eq!(cap.records.len(), 2);
         assert!(sim.capture(h).is_empty());
+    }
+
+    #[test]
+    fn streaming_sink_sees_what_a_capture_sees() {
+        /// Counts records without retaining them.
+        #[derive(Default)]
+        struct CountSink {
+            records: usize,
+            bytes: u64,
+            out_of_order: bool,
+            last: SimTime,
+        }
+        impl crate::capture::PacketSink for CountSink {
+            fn on_record(&mut self, rec: &PacketRecord) {
+                self.records += 1;
+                self.bytes += rec.pkt.size as u64;
+                if rec.time < self.last {
+                    self.out_of_order = true;
+                }
+                self.last = rec.time;
+            }
+        }
+
+        let (mut sim, _, b) = two_hosts_one_router(42);
+        let cap = sim.attach_capture(b);
+        let sink = sim.attach_sink(b, Box::new(CountSink::default()));
+        sim.run();
+        let capture = sim.take_capture(cap);
+        let counted = sim.sink::<CountSink>(sink).unwrap();
+        assert_eq!(counted.records, capture.len());
+        assert_eq!(
+            counted.bytes,
+            capture
+                .records
+                .iter()
+                .map(|r| r.pkt.size as u64)
+                .sum::<u64>()
+        );
+        assert!(!counted.out_of_order, "records not in time order");
+        // Wrong-type downcasts are None, right-type takes round-trip.
+        assert!(sim.sink::<Capture>(sink).is_none());
+        let boxed = sim.take_sink(sink);
+        let taken = (boxed as Box<dyn Any>).downcast::<CountSink>().unwrap();
+        assert_eq!(taken.records, capture.len());
     }
 
     #[test]

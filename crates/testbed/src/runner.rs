@@ -1,14 +1,19 @@
-//! Run one netperf-style throughput test and analyze its trace.
+//! Run one netperf-style throughput test and analyze the test flow's
+//! packet stream as it happens.
+//!
+//! The runner attaches a streaming [`FlowProbe`] at Server 1 instead of
+//! a buffer-everything capture: RTT samples, the slow-start window,
+//! features and throughput accumulate online, so no packet history is
+//! retained. The probe's cores are the exact machines the batch
+//! functions wrap, so results are byte-identical to the old
+//! capture-then-post-process path.
 
 use crate::config::TestbedConfig;
 use crate::topology::{build, TEST_FLOW};
-use csig_features::{features_from_samples, CongestionClass, FeatureError, FlowFeatures};
+use csig_features::{CongestionClass, FeatureError, FlowFeatures, FlowProbe};
 use csig_netsim::SimDuration;
 use csig_tcp::{ConnStats, TcpServerAgent};
-use csig_trace::{
-    capacity_estimate_bps, detect_slow_start, extract_rtt_samples, split_flows, throughput_summary,
-    FlowTrace, SlowStart, ThroughputSummary,
-};
+use csig_trace::{SlowStart, ThroughputSummary};
 use serde::{Deserialize, Serialize};
 
 /// Everything measured from one throughput test.
@@ -47,20 +52,14 @@ impl TestResult {
     }
 }
 
-/// Slow-start capacity estimate with a fallback to the whole-test mean
-/// for flows that never retransmitted.
-fn slow_start_capacity_estimate(
-    trace: &FlowTrace,
-    ss: &SlowStart,
-    whole: &ThroughputSummary,
-) -> f64 {
-    capacity_estimate_bps(trace, ss).unwrap_or(whole.mean_bps)
-}
-
 /// Build the testbed for `cfg`, run it to the test end plus a drain
-/// tail, and analyze the test flow's capture.
+/// tail, and analyze the test flow's packet stream with a streaming
+/// probe.
 pub fn run_test(cfg: &TestbedConfig) -> TestResult {
     let mut tb = build(cfg);
+    let probe = tb
+        .sim
+        .attach_sink(tb.server1, Box::new(FlowProbe::new(TEST_FLOW)));
     let horizon = tb.test_end + SimDuration::from_millis(500);
     tb.sim.run_until(horizon);
 
@@ -70,21 +69,13 @@ pub fn run_test(cfg: &TestbedConfig) -> TestResult {
         .agent::<TcpServerAgent>(tb.server1)
         .and_then(|s| s.connection(TEST_FLOW).map(|c| c.stats.clone()));
 
-    let capture = tb.sim.take_capture(tb.capture);
-    let flows = split_flows(&capture);
-    let trace = flows
-        .get(&TEST_FLOW)
-        .cloned()
-        .unwrap_or(csig_trace::FlowTrace {
-            flow: TEST_FLOW,
-            records: Vec::new(),
-        });
-
-    let samples = extract_rtt_samples(&trace);
-    let slow_start = detect_slow_start(&trace);
-    let throughput = throughput_summary(&trace);
-    let features = features_from_samples(&samples, &slow_start);
-    let ss_throughput_bps = slow_start_capacity_estimate(&trace, &slow_start, &throughput);
+    let probe: &FlowProbe = tb.sim.sink(probe).expect("probe tap");
+    let slow_start = probe.slow_start();
+    let throughput = probe.throughput();
+    let features = probe.features();
+    // Capacity-style slow-start estimate, falling back to the
+    // whole-test mean for flows that never retransmitted.
+    let ss_throughput_bps = probe.capacity_estimate_bps().unwrap_or(throughput.mean_bps);
 
     let icl = tb.sim.link(tb.interconnect_down);
     let interconnect_max_occupancy = icl.max_occupancy() as f64 / icl.buffer_capacity() as f64;

@@ -38,12 +38,10 @@ pub const CBR_FLOW: FlowId = FlowId(0xFFFF_0000);
 pub struct Testbed {
     /// The simulator, ready to run.
     pub sim: Simulator,
-    /// The netperf server (Server 1); the capture tap lives here.
+    /// The netperf server (Server 1); analysis taps live here.
     pub server1: NodeId,
     /// The test client (Pi 1).
     pub pi1: NodeId,
-    /// Capture at Server 1 (the paper's tcpdump vantage).
-    pub capture: CaptureHandle,
     /// The downstream interconnect link (r1 → r2), for stats.
     pub interconnect_down: LinkId,
     /// The downstream access link (r2 → pi1), for stats.
@@ -52,6 +50,17 @@ pub struct Testbed {
     pub test_start: SimTime,
     /// When the netperf test ends.
     pub test_end: SimTime,
+}
+
+impl Testbed {
+    /// Attach a buffer-everything capture at Server 1 (the paper's
+    /// `tcpdump` vantage). Opt-in: the standard runner analyzes the
+    /// packet stream with a streaming tap instead and never retains a
+    /// capture; pcap export and trace-visualization tools attach one
+    /// explicitly.
+    pub fn attach_capture(&mut self) -> CaptureHandle {
+        self.sim.attach_capture(self.server1)
+    }
 }
 
 /// Build the testbed for one configuration.
@@ -240,14 +249,12 @@ pub fn build(cfg: &TestbedConfig) -> Testbed {
     );
 
     sim.compute_routes();
-    let capture = sim.attach_capture(server1);
     sim.set_event_budget(3_000_000_000);
 
     Testbed {
         sim,
         server1,
         pi1,
-        capture,
         interconnect_down,
         access_down,
         test_start,

@@ -20,10 +20,38 @@ pub struct FlowTrace {
 }
 
 /// Split a capture into per-flow traces (ordered by flow id).
+///
+/// Thin wrapper over [`FlowDemux`]: replays the buffered records
+/// through the streaming demultiplexer.
 pub fn split_flows(cap: &Capture) -> BTreeMap<FlowId, FlowTrace> {
-    let mut map: BTreeMap<FlowId, FlowTrace> = BTreeMap::new();
+    let mut demux = FlowDemux::new();
     for rec in &cap.records {
-        map.entry(rec.pkt.flow)
+        demux.push(rec);
+    }
+    demux.into_flows()
+}
+
+/// Incremental flow demultiplexer: consumes records one at a time and
+/// accumulates them into per-flow traces.
+///
+/// This is the record-retaining demux behind [`split_flows`]. The
+/// fully streaming pipeline (`csig-core`'s `LiveAnalyzer`) routes each
+/// record to per-flow state machines instead and retains nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FlowDemux {
+    flows: BTreeMap<FlowId, FlowTrace>,
+}
+
+impl FlowDemux {
+    /// An empty demultiplexer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route one record to its flow's trace.
+    pub fn push(&mut self, rec: &PacketRecord) {
+        self.flows
+            .entry(rec.pkt.flow)
             .or_insert_with(|| FlowTrace {
                 flow: rec.pkt.flow,
                 records: Vec::new(),
@@ -31,7 +59,21 @@ pub fn split_flows(cap: &Capture) -> BTreeMap<FlowId, FlowTrace> {
             .records
             .push(rec.clone());
     }
-    map
+
+    /// Number of flows seen so far.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` when no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The accumulated per-flow traces, ordered by flow id.
+    pub fn into_flows(self) -> BTreeMap<FlowId, FlowTrace> {
+        self.flows
+    }
 }
 
 /// Initial sequence numbers of a flow as seen from the tap node.

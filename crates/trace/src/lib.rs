@@ -15,6 +15,20 @@
 //! * [`pcap_import`] — import of *foreign* `tcpdump` files (µs/ns
 //!   magic, Ethernet or raw-IP framing) with 4-tuple flow assembly.
 //!
+//! ## Streaming cores
+//!
+//! Every per-flow analysis is implemented as an incremental state
+//! machine consuming one [`PacketRecord`](csig_netsim::PacketRecord) at
+//! a time — [`FlowDemux`], [`RttExtractor`], [`AckAccountant`],
+//! [`SlowStartTracker`], [`ThroughputTracker`] — with state bounded by
+//! the flow's in-flight window, not by trace length. The batch
+//! functions ([`extract_rtt_samples`], [`detect_slow_start`],
+//! [`throughput_summary`], …) are thin wrappers that replay a buffered
+//! trace through the corresponding core, so both paths produce
+//! byte-identical results by construction. Only
+//! [`throughput_timeseries`] remains batch-only (its binning needs the
+//! trace's time span up front).
+//!
 //! The end-to-end integration test in this crate cross-validates the
 //! trace-derived RTT samples against the TCP stack's own Karn-filtered
 //! estimator samples — the two measurement paths must agree.
@@ -29,14 +43,18 @@ pub mod rtt;
 pub mod slow_start;
 pub mod throughput;
 
-pub use flow::{split_flows, FlowIsn, FlowTrace, OffsetTracker};
+pub use flow::{split_flows, FlowDemux, FlowIsn, FlowTrace, OffsetTracker};
 pub use pcap::{read_pcap, write_pcap, PcapError};
 pub use pcap_import::{
     assemble_capture, import_pcap, parse_pcap_tcp, ImportError, RawTcpPacket, ServerSelector,
 };
-pub use rtt::{bytes_acked_by, extract_rtt_samples, RttSample};
-pub use slow_start::{capacity_estimate_bps, detect_slow_start, slow_start_samples, SlowStart};
-pub use throughput::{throughput_summary, throughput_timeseries, ThroughputSummary};
+pub use rtt::{bytes_acked_by, extract_rtt_samples, AckAccountant, RttExtractor, RttSample};
+pub use slow_start::{
+    capacity_estimate_bps, detect_slow_start, slow_start_samples, SlowStart, SlowStartTracker,
+};
+pub use throughput::{
+    throughput_summary, throughput_timeseries, ThroughputSummary, ThroughputTracker,
+};
 
 #[cfg(test)]
 mod integration_tests {

@@ -8,7 +8,7 @@
 //! discarded (the ACK can't be attributed to a specific transmission).
 
 use crate::flow::{FlowTrace, OffsetTracker};
-use csig_netsim::{Direction, SimDuration, SimTime};
+use csig_netsim::{Direction, PacketRecord, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// One RTT sample extracted from the trace.
@@ -31,66 +31,86 @@ struct Outstanding {
     tainted: bool,
 }
 
-/// Extract downstream flow-RTT samples from a (server-side) flow trace.
+/// Incremental flow-RTT extractor: the streaming core behind
+/// [`extract_rtt_samples`].
 ///
-/// Only `Out` data segments and `In` pure/cumulative ACKs are
-/// consulted. Returns samples in ACK-arrival order. If the capture
-/// missed the SYN, the first outgoing data packet's sequence number is
-/// used as the offset base instead.
-pub fn extract_rtt_samples(trace: &FlowTrace) -> Vec<RttSample> {
-    let isn = trace.isn();
-    let mut out_tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
-    let mut outstanding: Vec<Outstanding> = Vec::new();
-    let mut samples = Vec::new();
-    let mut max_sent_end: u64 = 0;
+/// Feed it one (server-side) [`PacketRecord`] of a single flow at a
+/// time; each `In` cumulative ACK that cleanly retires outstanding data
+/// yields at most one [`RttSample`]. State is bounded by the flow's
+/// in-flight window (the `outstanding` list), not by trace length.
+///
+/// Offsets are anchored at the first `Out` SYN's ISS, or at the first
+/// outgoing data packet's sequence number if the tap missed the
+/// handshake — the same anchoring the batch function recovers with its
+/// ISN pre-pass, provided the SYN (when captured) precedes the data,
+/// which holds for any well-formed capture.
+#[derive(Debug, Clone, Default)]
+pub struct RttExtractor {
+    out_tracker: Option<OffsetTracker>,
+    outstanding: Vec<Outstanding>,
+    max_sent_end: u64,
+}
 
-    for rec in &trace.records {
-        let Some(h) = rec.pkt.tcp() else { continue };
+impl RttExtractor {
+    /// A fresh extractor (no records seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one record; an `In` ACK may yield a sample.
+    pub fn push(&mut self, rec: &PacketRecord) -> Option<RttSample> {
+        let h = rec.pkt.tcp()?;
         match rec.dir {
             Direction::Out => {
-                if h.payload_len == 0 {
-                    continue;
+                if h.flags.syn() {
+                    // Anchor offsets at the local ISS.
+                    if self.out_tracker.is_none() {
+                        self.out_tracker = Some(OffsetTracker::new(h.seq));
+                    }
+                    return None;
                 }
-                let tracker = out_tracker.get_or_insert_with(|| {
+                if h.payload_len == 0 {
+                    return None;
+                }
+                let tracker = self.out_tracker.get_or_insert_with(|| {
                     // No SYN seen: anchor offsets at this first data seq.
                     OffsetTracker::new(h.seq.wrapping_sub(1))
                 });
                 let start = tracker.offset(h.seq);
                 let end = start + h.payload_len as u64;
-                if start < max_sent_end {
+                if start < self.max_sent_end {
                     // Retransmission: taint every overlapping outstanding
                     // range (Karn) and do not add a fresh entry — the
                     // eventual ACK cannot be attributed.
-                    for o in outstanding.iter_mut() {
+                    for o in self.outstanding.iter_mut() {
                         if o.start < end && o.end > start {
                             o.tainted = true;
                         }
                     }
                 } else {
-                    outstanding.push(Outstanding {
+                    self.outstanding.push(Outstanding {
                         start,
                         end,
                         sent_at: rec.time,
                         tainted: false,
                     });
-                    max_sent_end = end;
+                    self.max_sent_end = end;
                 }
+                None
             }
             Direction::In => {
                 if !h.flags.ack() {
-                    continue;
+                    return None;
                 }
                 // Anchor ack numbers in the same offset space as the
                 // data (the SYN's ISS, or the first-data fallback).
-                let Some(tr) = out_tracker.as_ref() else {
-                    continue; // no data seen yet
-                };
+                let tr = self.out_tracker.as_ref()?; // no data seen yet
                 let ack_off =
-                    csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, max_sent_end);
+                    csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, self.max_sent_end);
                 // Retire all fully covered segments; the newest clean one
                 // yields the sample for this ACK.
                 let mut best: Option<Outstanding> = None;
-                outstanding.retain(|o| {
+                self.outstanding.retain(|o| {
                     if o.end <= ack_off {
                         if !o.tainted {
                             match best {
@@ -103,58 +123,121 @@ pub fn extract_rtt_samples(trace: &FlowTrace) -> Vec<RttSample> {
                         true
                     }
                 });
-                if let Some(o) = best {
-                    samples.push(RttSample {
-                        at: rec.time,
-                        rtt: rec.time.saturating_since(o.sent_at),
-                        seq_end: o.end,
-                    });
-                }
+                best.map(|o| RttSample {
+                    at: rec.time,
+                    rtt: rec.time.saturating_since(o.sent_at),
+                    seq_end: o.end,
+                })
             }
         }
     }
-    samples
+
+    /// Number of unacknowledged segments currently tracked (the only
+    /// unbounded-looking state; in practice bounded by the in-flight
+    /// window).
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
 }
 
-/// Highest cumulative acknowledgment offset observed in the trace up to
-/// (and including) `until`, i.e. payload bytes delivered by then.
-pub fn bytes_acked_by(trace: &FlowTrace, until: SimTime) -> u64 {
-    let isn = trace.isn();
-    let Some(local_iss) = isn.local_iss else {
-        return 0;
-    };
-    let mut max_ack = 0u64;
-    let mut out_tracker = OffsetTracker::new(local_iss);
-    let mut fin_cap: Option<u64> = None;
-    for rec in &trace.records {
-        if rec.time > until {
-            break;
-        }
-        let Some(h) = rec.pkt.tcp() else { continue };
+/// Extract downstream flow-RTT samples from a (server-side) flow trace.
+///
+/// Only `Out` data segments and `In` pure/cumulative ACKs are
+/// consulted. Returns samples in ACK-arrival order. If the capture
+/// missed the SYN, the first outgoing data packet's sequence number is
+/// used as the offset base instead.
+///
+/// Thin wrapper over [`RttExtractor`]: replays the trace through the
+/// streaming core.
+pub fn extract_rtt_samples(trace: &FlowTrace) -> Vec<RttSample> {
+    let mut extractor = RttExtractor::new();
+    trace
+        .records
+        .iter()
+        .filter_map(|rec| extractor.push(rec))
+        .collect()
+}
+
+/// Incremental cumulative-acknowledgment accountant: the streaming core
+/// behind [`bytes_acked_by`].
+///
+/// Tracks the highest cumulative acknowledgment offset (payload bytes
+/// delivered) of one flow, capped below the FIN's sequence slot.
+/// Accounting starts at the `Out` SYN — without a captured local SYN it
+/// stays at zero, matching the batch function's behavior.
+#[derive(Debug, Clone, Default)]
+pub struct AckAccountant {
+    out_tracker: Option<OffsetTracker>,
+    max_ack: u64,
+    fin_cap: Option<u64>,
+}
+
+impl AckAccountant {
+    /// A fresh accountant (no records seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one record.
+    pub fn push(&mut self, rec: &PacketRecord) {
+        let Some(h) = rec.pkt.tcp() else { return };
         match rec.dir {
             Direction::Out => {
+                if h.flags.syn() {
+                    if self.out_tracker.is_none() {
+                        self.out_tracker = Some(OffsetTracker::new(h.seq));
+                    }
+                    return;
+                }
+                let Some(tracker) = self.out_tracker.as_mut() else {
+                    return; // no local SYN: accounting never starts
+                };
                 if h.flags.fin() {
-                    let start = out_tracker.offset(h.seq);
-                    fin_cap = Some(start + h.payload_len as u64);
+                    let start = tracker.offset(h.seq);
+                    self.fin_cap = Some(start + h.payload_len as u64);
                 } else if h.payload_len > 0 {
-                    let _ = out_tracker.offset(h.seq);
+                    let _ = tracker.offset(h.seq);
                 }
             }
             Direction::In => {
                 if !h.flags.ack() {
-                    continue;
+                    return;
                 }
-                let mut off = csig_tcp::seq::offset_of(local_iss.wrapping_add(1), h.ack, max_ack);
-                if let Some(cap) = fin_cap {
+                let Some(tracker) = self.out_tracker.as_ref() else {
+                    return;
+                };
+                let mut off =
+                    csig_tcp::seq::offset_of(tracker.base().wrapping_add(1), h.ack, self.max_ack);
+                if let Some(cap) = self.fin_cap {
                     off = off.min(cap);
                 }
-                if off > max_ack {
-                    max_ack = off;
+                if off > self.max_ack {
+                    self.max_ack = off;
                 }
             }
         }
     }
-    max_ack
+
+    /// Highest cumulative acknowledgment offset seen so far.
+    pub fn bytes_acked(&self) -> u64 {
+        self.max_ack
+    }
+}
+
+/// Highest cumulative acknowledgment offset observed in the trace up to
+/// (and including) `until`, i.e. payload bytes delivered by then.
+///
+/// Thin wrapper over [`AckAccountant`]: replays the trace prefix
+/// through the streaming core.
+pub fn bytes_acked_by(trace: &FlowTrace, until: SimTime) -> u64 {
+    let mut acct = AckAccountant::new();
+    for rec in &trace.records {
+        if rec.time > until {
+            break;
+        }
+        acct.push(rec);
+    }
+    acct.bytes_acked()
 }
 
 #[cfg(test)]

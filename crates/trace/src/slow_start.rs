@@ -8,9 +8,10 @@
 //! sequence already sent.
 
 use crate::flow::{FlowTrace, OffsetTracker};
-use crate::rtt::{bytes_acked_by, RttSample};
-use csig_netsim::{Direction, SimTime};
+use crate::rtt::{bytes_acked_by, AckAccountant, RttSample};
+use csig_netsim::{Direction, PacketRecord, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// The slow-start window of a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,41 +47,154 @@ impl SlowStart {
     }
 }
 
-/// Detect the slow-start window of a server-side flow trace.
-pub fn detect_slow_start(trace: &FlowTrace) -> SlowStart {
-    let isn = trace.isn();
-    let mut tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
-    let mut max_sent_end: u64 = 0;
-    let mut first_data_at = None;
-    let mut end = None;
+/// Incremental slow-start detector: the streaming core behind
+/// [`detect_slow_start`].
+///
+/// Combines three bounded sub-machines fed record by record:
+///
+/// * a *boundary machine* that watches outgoing data for the first
+///   sequence regression (the paper's end-of-slow-start signal) and
+///   freezes once it fires;
+/// * an [`AckAccountant`] that stops at the boundary, so
+///   [`SlowStartTracker::snapshot`] reports the bytes acknowledged
+///   within the window;
+/// * an *advance log* of `(time, bytes_acked)` points used by
+///   [`SlowStartTracker::capacity_estimate_bps`] to recover "bytes
+///   acked by the window midpoint" even though the midpoint is only
+///   known once the boundary fires. The log is pruned to the trailing
+///   half-window (any candidate midpoint lies at or beyond half the
+///   elapsed window, so older entries can never be the answer), which
+///   keeps its size proportional to the ack-advance rate over half an
+///   RTT ramp, not to trace length.
+#[derive(Debug, Clone, Default)]
+pub struct SlowStartTracker {
+    tracker: Option<OffsetTracker>,
+    max_sent_end: u64,
+    first_data_at: Option<SimTime>,
+    end: Option<SimTime>,
+    acct: AckAccountant,
+    advances: VecDeque<(SimTime, u64)>,
+}
 
-    for rec in &trace.records {
-        if rec.dir != Direction::Out {
-            continue;
+impl SlowStartTracker {
+    /// A fresh tracker (no records seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one record.
+    pub fn push(&mut self, rec: &PacketRecord) {
+        // Ack accounting runs up to (and including) the boundary
+        // instant, exactly like `bytes_acked_by(trace, end)`.
+        if self.end.is_none_or(|end| rec.time <= end) {
+            let before = self.acct.bytes_acked();
+            self.acct.push(rec);
+            let after = self.acct.bytes_acked();
+            if after > before && self.end.is_none() {
+                self.advances.push_back((rec.time, after));
+                self.prune_advances(rec.time);
+            }
         }
-        let Some(h) = rec.pkt.tcp() else { continue };
+
+        // Boundary machine: frozen once the first retransmission fires.
+        if self.end.is_some() || rec.dir != Direction::Out {
+            return;
+        }
+        let Some(h) = rec.pkt.tcp() else { return };
+        if h.flags.syn() {
+            // Anchor offsets at the local ISS.
+            if self.tracker.is_none() {
+                self.tracker = Some(OffsetTracker::new(h.seq));
+            }
+            return;
+        }
         if h.payload_len == 0 {
-            continue;
+            return;
         }
-        let tr = tracker.get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
+        let tr = self
+            .tracker
+            .get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
         let start = tr.offset(h.seq);
         let seg_end = start + h.payload_len as u64;
-        if first_data_at.is_none() {
-            first_data_at = Some(rec.time);
+        if self.first_data_at.is_none() {
+            self.first_data_at = Some(rec.time);
         }
-        if start < max_sent_end {
-            end = Some(rec.time);
-            break;
+        if start < self.max_sent_end {
+            self.end = Some(rec.time);
+        } else {
+            self.max_sent_end = seg_end;
         }
-        max_sent_end = seg_end;
     }
 
-    let until = end.unwrap_or(SimTime::MAX);
-    SlowStart {
-        first_data_at,
-        end,
-        bytes_acked: bytes_acked_by(trace, until),
+    /// Drop advance-log entries that can never be the "last advance at
+    /// or before the midpoint": the eventual midpoint lies at or beyond
+    /// `first_data + (now - first_data) / 2`, so any entry dominated by
+    /// a successor at or before that point is dead.
+    fn prune_advances(&mut self, now: SimTime) {
+        let Some(first) = self.first_data_at else {
+            return;
+        };
+        let mid_now = first + now.saturating_since(first) / 2;
+        while self.advances.len() >= 2 && self.advances[1].0 <= mid_now {
+            self.advances.pop_front();
+        }
     }
+
+    /// The boundary to use when windowing samples: the first
+    /// retransmission seen so far, or "forever" if none yet.
+    pub fn boundary(&self) -> SimTime {
+        self.end.unwrap_or(SimTime::MAX)
+    }
+
+    /// `true` once the first retransmission has been observed.
+    pub fn ended(&self) -> bool {
+        self.end.is_some()
+    }
+
+    /// The [`SlowStart`] implied by the records seen so far.
+    pub fn snapshot(&self) -> SlowStart {
+        SlowStart {
+            first_data_at: self.first_data_at,
+            end: self.end,
+            bytes_acked: self.acct.bytes_acked(),
+        }
+    }
+
+    /// Streaming equivalent of [`capacity_estimate_bps`]: goodput over
+    /// the second half of the slow-start window, `None` while the
+    /// window is still open or when it is degenerate.
+    pub fn capacity_estimate_bps(&self) -> Option<f64> {
+        let (start, end) = (self.first_data_at?, self.end?);
+        let span = end.saturating_since(start);
+        if span.is_zero() {
+            return None;
+        }
+        let mid = start + span / 2;
+        let bytes_mid = self
+            .advances
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= mid)
+            .map_or(0, |(_, b)| *b);
+        let late_bytes = self.acct.bytes_acked().saturating_sub(bytes_mid);
+        let secs = (span / 2).as_secs_f64();
+        if secs <= 0.0 || late_bytes == 0 {
+            return None;
+        }
+        Some(late_bytes as f64 * 8.0 / secs)
+    }
+}
+
+/// Detect the slow-start window of a server-side flow trace.
+///
+/// Thin wrapper over [`SlowStartTracker`]: replays the trace through
+/// the streaming core.
+pub fn detect_slow_start(trace: &FlowTrace) -> SlowStart {
+    let mut tracker = SlowStartTracker::new();
+    for rec in &trace.records {
+        tracker.push(rec);
+    }
+    tracker.snapshot()
 }
 
 /// Capacity-style slow-start throughput estimate: goodput over the
@@ -259,6 +373,58 @@ mod tests {
         // Degenerate cases return None.
         let open = SlowStart { end: None, ..ss };
         assert_eq!(capacity_estimate_bps(&trace, &open), None);
+    }
+
+    #[test]
+    fn streaming_tracker_matches_batch_capacity() {
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                syn_out(),
+                rec(Direction::Out, 0, 0, 1000, 0, TcpFlags::ACK),
+                rec(Direction::In, 100, 0, 0, 50_000, TcpFlags::ACK),
+                rec(Direction::In, 400, 0, 0, 100_000, TcpFlags::ACK),
+                rec(Direction::In, 700, 0, 0, 300_000, TcpFlags::ACK),
+                rec(Direction::In, 900, 0, 0, 500_000, TcpFlags::ACK),
+                rec(Direction::Out, 1000, 0, 1000, 0, TcpFlags::ACK), // retx
+                // Post-boundary traffic must not perturb the window.
+                rec(Direction::In, 1100, 0, 0, 600_000, TcpFlags::ACK),
+            ],
+        };
+        let mut tracker = SlowStartTracker::new();
+        for r in &trace.records {
+            tracker.push(r);
+        }
+        let batch = detect_slow_start(&trace);
+        assert_eq!(tracker.snapshot(), batch);
+        assert_eq!(
+            tracker.capacity_estimate_bps(),
+            capacity_estimate_bps(&trace, &batch)
+        );
+        // The advance log was pruned but still answers the midpoint
+        // query: 400 kB over the late half second.
+        let est = tracker.capacity_estimate_bps().unwrap();
+        assert!((est - 6.4e6).abs() < 1e5, "{est}");
+    }
+
+    #[test]
+    fn open_window_tracker_reports_running_state() {
+        let trace = FlowTrace {
+            flow: FlowId(1),
+            records: vec![
+                syn_out(),
+                rec(Direction::Out, 10, 0, 1000, 0, TcpFlags::ACK),
+                rec(Direction::In, 50, 0, 0, 1000, TcpFlags::ACK),
+            ],
+        };
+        let mut tracker = SlowStartTracker::new();
+        for r in &trace.records {
+            tracker.push(r);
+        }
+        assert!(!tracker.ended());
+        assert_eq!(tracker.boundary(), SimTime::MAX);
+        assert_eq!(tracker.snapshot(), detect_slow_start(&trace));
+        assert_eq!(tracker.capacity_estimate_bps(), None);
     }
 
     #[test]

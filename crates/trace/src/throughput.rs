@@ -5,7 +5,7 @@
 //! received), overall and as a binned time series.
 
 use crate::flow::{FlowTrace, OffsetTracker};
-use csig_netsim::{Direction, SimDuration, SimTime};
+use csig_netsim::{Direction, PacketRecord, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Goodput summary for one flow.
@@ -20,58 +20,96 @@ pub struct ThroughputSummary {
     pub mean_bps: f64,
 }
 
-/// Compute the goodput summary of a server-side flow trace.
-pub fn throughput_summary(trace: &FlowTrace) -> ThroughputSummary {
-    let isn = trace.isn();
-    let mut tracker: Option<OffsetTracker> = isn.local_iss.map(OffsetTracker::new);
-    let mut first_data: Option<SimTime> = None;
-    let mut last_advance: Option<SimTime> = None;
-    let mut max_ack = 0u64;
-    let mut fin_cap: Option<u64> = None;
+/// Incremental goodput accountant: the streaming core behind
+/// [`throughput_summary`].
+///
+/// Holds O(1) state per flow — an offset tracker, the running max
+/// cumulative ack, and two timestamps — and can report a
+/// [`ThroughputSummary`] at any point of the stream.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputTracker {
+    tracker: Option<OffsetTracker>,
+    first_data: Option<SimTime>,
+    last_advance: Option<SimTime>,
+    max_ack: u64,
+    fin_cap: Option<u64>,
+}
 
-    for rec in &trace.records {
-        let Some(h) = rec.pkt.tcp() else { continue };
+impl ThroughputTracker {
+    /// A fresh tracker (no records seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one record.
+    pub fn push(&mut self, rec: &PacketRecord) {
+        let Some(h) = rec.pkt.tcp() else { return };
         match rec.dir {
+            // Anchor offsets at the local ISS.
+            Direction::Out if h.flags.syn() && self.tracker.is_none() => {
+                self.tracker = Some(OffsetTracker::new(h.seq));
+            }
             Direction::Out if h.payload_len > 0 || h.flags.fin() => {
-                let tr = tracker.get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
+                let tr = self
+                    .tracker
+                    .get_or_insert_with(|| OffsetTracker::new(h.seq.wrapping_sub(1)));
                 let start = tr.offset(h.seq);
                 if h.payload_len > 0 {
-                    first_data.get_or_insert(rec.time);
+                    self.first_data.get_or_insert(rec.time);
                 }
                 if h.flags.fin() {
                     // The FIN consumes one sequence number that is not
                     // payload; cap acked-byte accounting below it.
-                    fin_cap = Some(start + h.payload_len as u64);
+                    self.fin_cap = Some(start + h.payload_len as u64);
                 }
             }
             Direction::In if h.flags.ack() => {
-                let Some(tr) = tracker.as_ref() else { continue };
-                let mut off = csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, max_ack);
-                if let Some(cap) = fin_cap {
+                let Some(tr) = self.tracker.as_ref() else {
+                    return;
+                };
+                let mut off =
+                    csig_tcp::seq::offset_of(tr.base().wrapping_add(1), h.ack, self.max_ack);
+                if let Some(cap) = self.fin_cap {
                     off = off.min(cap);
                 }
-                if off > max_ack {
-                    max_ack = off;
-                    last_advance = Some(rec.time);
+                if off > self.max_ack {
+                    self.max_ack = off;
+                    self.last_advance = Some(rec.time);
                 }
             }
             _ => {}
         }
     }
-    let active = match (first_data, last_advance) {
-        (Some(a), Some(b)) => b.saturating_since(a),
-        _ => SimDuration::ZERO,
-    };
-    let mean_bps = if active.is_zero() {
-        0.0
-    } else {
-        max_ack as f64 * 8.0 / active.as_secs_f64()
-    };
-    ThroughputSummary {
-        bytes_acked: max_ack,
-        active,
-        mean_bps,
+
+    /// The summary implied by the records seen so far.
+    pub fn summary(&self) -> ThroughputSummary {
+        let active = match (self.first_data, self.last_advance) {
+            (Some(a), Some(b)) => b.saturating_since(a),
+            _ => SimDuration::ZERO,
+        };
+        let mean_bps = if active.is_zero() {
+            0.0
+        } else {
+            self.max_ack as f64 * 8.0 / active.as_secs_f64()
+        };
+        ThroughputSummary {
+            bytes_acked: self.max_ack,
+            active,
+            mean_bps,
+        }
     }
+}
+
+/// Compute the goodput summary of a server-side flow trace.
+///
+/// Thin wrapper over [`ThroughputTracker`]: replays the trace through
+/// the streaming core.
+pub fn throughput_summary(trace: &FlowTrace) -> ThroughputSummary {
+    let mut tracker = ThroughputTracker::new();
+    for rec in &trace.records {
+        tracker.push(rec);
+    }
+    tracker.summary()
 }
 
 /// Goodput time series: bits/s in consecutive bins of width `bin`,

@@ -23,6 +23,7 @@ fn main() {
             cfg = cfg.externally_congested();
         }
         let mut tb = testbed::build(&cfg);
+        let cap = tb.attach_capture();
 
         // Sample the access-link buffer occupancy every 100 ms from
         // test start through the first second of the test.
@@ -59,7 +60,7 @@ fn main() {
         }
 
         // And the resulting RTT ramp from the trace.
-        let capture = tb.sim.take_capture(tb.capture);
+        let capture = tb.sim.take_capture(cap);
         let flows = split_flows(&capture);
         let samples = extract_rtt_samples(&flows[&testbed::TEST_FLOW]);
         let ss = detect_slow_start(&flows[&testbed::TEST_FLOW]);

@@ -44,9 +44,10 @@ fn main() {
             }
             // Run the test and capture at the server, like the paper.
             let mut tb = testbed::build(&cfg);
+            let cap_h = tb.attach_capture();
             let horizon = tb.test_end + SimDuration::from_millis(500);
             tb.sim.run_until(horizon);
-            let cap = tb.sim.take_capture(tb.capture);
+            let cap = tb.sim.take_capture(cap_h);
             let classifiable = analyze_capture(&clf, &cap)
                 .iter()
                 .all(|r| r.verdict.is_ok());

@@ -10,6 +10,12 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q --doc --workspace"
+cargo test -q --doc --workspace
+
+echo "==> cargo test -q --test stream_equivalence (streaming == batch)"
+cargo test -q --test stream_equivalence
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

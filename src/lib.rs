@@ -55,13 +55,13 @@ pub use csig_tslp as tslp;
 /// The most common imports in one place.
 pub mod prelude {
     pub use csig_core::{
-        analyze_capture, ground_truth_accuracy, threshold_sweep, train_from_results, ModelMeta,
-        SignatureClassifier, Verdict,
+        analyze_capture, ground_truth_accuracy, threshold_sweep, train_from_results, LiveAnalyzer,
+        ModelMeta, SignatureClassifier, Verdict,
     };
     pub use csig_dtree::{Dataset, DecisionTree, TreeParams};
     pub use csig_exec::{Campaign, Executor, ProgressEvent, Scenario};
     pub use csig_features::{
-        features_from_rtts_ms, features_from_samples, CongestionClass, FlowFeatures,
+        features_from_rtts_ms, features_from_samples, CongestionClass, FlowFeatures, FlowProbe,
     };
     pub use csig_netsim::{LinkConfig, NodeId, QueueKind, SimDuration, SimTime, Simulator};
     pub use csig_tcp::{

@@ -22,9 +22,10 @@ fn verdict_survives_pcap_roundtrip() {
     // Run a fresh test, capture at the server.
     let cfg = TestbedConfig::scaled(AccessParams::figure1(), 987);
     let mut tb = testbed::build(&cfg);
+    let cap = tb.attach_capture();
     tb.sim
         .run_until(tb.test_end + SimDuration::from_millis(500));
-    let capture = tb.sim.take_capture(tb.capture);
+    let capture = tb.sim.take_capture(cap);
 
     // Online verdicts.
     let online = analyze_capture(&clf, &capture);
@@ -57,9 +58,10 @@ fn verdict_survives_pcap_roundtrip() {
 fn pcap_file_has_standard_layout() {
     let cfg = TestbedConfig::scaled(AccessParams::figure1(), 988);
     let mut tb = testbed::build(&cfg);
+    let cap = tb.attach_capture();
     tb.sim
         .run_until(tb.test_start + SimDuration::from_millis(500));
-    let capture = tb.sim.take_capture(tb.capture);
+    let capture = tb.sim.take_capture(cap);
     let mut buf = Vec::new();
     write_pcap(&capture, &mut buf).expect("export");
     // Nanosecond little-endian magic and LINKTYPE_RAW.

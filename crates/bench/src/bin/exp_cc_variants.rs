@@ -10,7 +10,7 @@ fn main() {
     let args = CommonArgs::parse();
     let reps: u32 = args.positional_parsed(6);
     eprintln!("cc_variants: training reference model…");
-    let clf = dispute::testbed_model_jobs(5, 0xCC01, args.jobs);
+    let clf = dispute::testbed_model_with(5, 0xCC01, &args.executor());
     let rows = cc_variants::run(&clf, reps, args.seed_or(0xCC02));
     cc_variants::print(&rows);
 }

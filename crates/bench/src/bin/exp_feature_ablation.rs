@@ -24,7 +24,7 @@ fn main() {
         },
         seed: args.seed_or(0xAB1A),
     }
-    .run_jobs(args.jobs, args.progress_printer(24));
+    .run_with(&args.executor(), args.progress_printer(24));
     let rows = ablation::feature_depth_ablation(&results, 0.7, 5);
     ablation::print(&rows);
 }

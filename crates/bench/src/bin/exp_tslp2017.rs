@@ -10,7 +10,7 @@ use csig_core::{ModelMeta, SignatureClassifier};
 use csig_dtree::{Dataset, TreeParams};
 use csig_exec::cli::CommonArgs;
 use csig_mlab::{
-    generate_jobs, label_dispute2014, run_campaign_jobs, Dispute2014Config, Tslp2017Config,
+    generate_with, label_dispute2014, run_campaign_with, Dispute2014Config, Tslp2017Config,
 };
 use csig_netsim::SimDuration;
 
@@ -27,23 +27,23 @@ fn main() {
         "exp_tslp2017: running {days}-day campaign ({} workers)…",
         args.executor().jobs()
     );
-    let out = run_campaign_jobs(&cfg, args.jobs, args.progress_printer(100));
+    let out = run_campaign_with(&cfg, &args.executor(), args.progress_printer(100));
 
     eprintln!("training testbed model…");
-    let testbed_clf = dispute::testbed_model_jobs(5, 0x7517, args.jobs);
+    let testbed_clf = dispute::testbed_model_with(5, 0x7517, &args.executor());
     tslp_exp::print_accuracy(
         "testbed-trained model",
         &tslp_exp::evaluate(&testbed_clf, &out, 25),
     );
 
     eprintln!("training Dispute2014 model…");
-    let d2014 = generate_jobs(
+    let d2014 = generate_with(
         &Dispute2014Config {
             tests_per_cell: 10,
             test_duration: SimDuration::from_secs(4),
             seed: 0x7518,
         },
-        args.jobs,
+        &args.executor(),
         args.progress_printer(0),
     );
     let mut data = Dataset::new();

@@ -21,6 +21,12 @@ fn main() {
         "fig1: {reps} tests/scenario, {profile:?} profile, {} workers",
         args.executor().jobs()
     );
-    let data = fig1::run_jobs(reps, profile, seed, args.jobs, args.progress_printer(10));
+    let data = fig1::run_with(
+        reps,
+        profile,
+        seed,
+        &args.executor(),
+        args.progress_printer(10),
+    );
     fig1::print(&data);
 }

@@ -23,12 +23,12 @@ fn main() {
         if full { "paper(36)" } else { "small(9)" },
         args.executor().jobs()
     );
-    let results = fig3::run_sweep_jobs(
+    let results = fig3::run_sweep_with(
         reps,
         full,
         profile,
         seed,
-        args.jobs,
+        &args.executor(),
         args.progress_printer(24),
     );
     let points = fig3::threshold_points(&results, 1);

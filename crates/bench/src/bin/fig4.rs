@@ -17,12 +17,12 @@ fn main() {
         Profile::Scaled
     };
     let seed = args.seed_or(0xF164);
-    let results = fig3::run_sweep_jobs(
+    let results = fig3::run_sweep_with(
         reps,
         full,
         profile,
         seed,
-        args.jobs,
+        &args.executor(),
         args.progress_printer(0),
     );
     let scatter = fig3::fig4_points(&results);

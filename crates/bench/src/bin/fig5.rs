@@ -5,7 +5,7 @@
 //!  [--csv PATH] [--jobs N] [--seed S] [--progress]`
 
 use csig_exec::cli::CommonArgs;
-use csig_mlab::{generate_jobs, to_csv, Dispute2014Config, Month, TransitSite};
+use csig_mlab::{generate_with, to_csv, Dispute2014Config, Month, TransitSite};
 use csig_netsim::SimDuration;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
         tests_per_cell * 48,
         args.executor().jobs()
     );
-    let tests = generate_jobs(&cfg, args.jobs, args.progress_printer(200));
+    let tests = generate_with(&cfg, &args.executor(), args.progress_printer(200));
     csig_bench::dispute::print_fig5(
         &tests,
         TransitSite::CogentLax,

@@ -6,7 +6,7 @@
 
 use csig_bench::tslp_exp;
 use csig_exec::cli::CommonArgs;
-use csig_mlab::{run_campaign_jobs, Tslp2017Config};
+use csig_mlab::{run_campaign_with, Tslp2017Config};
 
 fn main() {
     let args = CommonArgs::parse();
@@ -21,6 +21,6 @@ fn main() {
         "fig6: running {days}-day campaign ({} NDT workers)…",
         args.executor().jobs()
     );
-    let out = run_campaign_jobs(&cfg, args.jobs, args.progress_printer(100));
+    let out = run_campaign_with(&cfg, &args.executor(), args.progress_printer(100));
     tslp_exp::print_fig6(&out);
 }

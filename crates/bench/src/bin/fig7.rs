@@ -9,7 +9,7 @@ use csig_bench::dispute;
 use csig_core::train_from_results;
 use csig_dtree::TreeParams;
 use csig_exec::cli::CommonArgs;
-use csig_mlab::{generate_jobs, Dispute2014Config, TransitSite};
+use csig_mlab::{generate_with, Dispute2014Config, TransitSite};
 use csig_netsim::SimDuration;
 use csig_testbed::{paper_grid, Profile, Sweep};
 
@@ -25,7 +25,7 @@ fn main() {
         test_duration: SimDuration::from_secs(4),
         seed: args.seed_or(0xF167),
     };
-    let tests = generate_jobs(&cfg, args.jobs, args.progress_printer(200));
+    let tests = generate_with(&cfg, &args.executor(), args.progress_printer(200));
 
     eprintln!("fig7: training testbed models (full grid)…");
     let results = Sweep {
@@ -34,7 +34,7 @@ fn main() {
         profile: Profile::Scaled,
         seed: 0xF168,
     }
-    .run_jobs(args.jobs, args.progress_printer(24));
+    .run_with(&args.executor(), args.progress_printer(24));
     for threshold in [0.6, 0.7, 0.8] {
         if let Some(clf) = train_from_results(&results, threshold, TreeParams::default()) {
             let bars = dispute::fig7(&clf, &tests);

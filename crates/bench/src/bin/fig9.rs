@@ -6,7 +6,7 @@
 
 use csig_bench::dispute;
 use csig_exec::cli::CommonArgs;
-use csig_mlab::{generate_jobs, Dispute2014Config};
+use csig_mlab::{generate_with, Dispute2014Config};
 use csig_netsim::SimDuration;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
         "fig9: generating campaign ({} workers)…",
         args.executor().jobs()
     );
-    let tests = generate_jobs(&cfg, args.jobs, args.progress_printer(200));
+    let tests = generate_with(&cfg, &args.executor(), args.progress_printer(200));
     let bars = dispute::fig9(&tests, 1);
     dispute::print_fig7(&bars, "model trained on Dispute2014 labels");
 }

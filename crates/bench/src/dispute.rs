@@ -1,7 +1,8 @@
 //! Figures 5, 7, 8 and 9: the Dispute2014 analyses.
 
-use csig_core::{train_sweep, ModelMeta, SignatureClassifier};
+use csig_core::{train_sweep_with, ModelMeta, SignatureClassifier};
 use csig_dtree::{Dataset, TreeParams};
+use csig_exec::Executor;
 use csig_features::CongestionClass;
 use csig_mlab::{
     diurnal_throughput, is_off_peak_hour, is_peak_hour, label_dispute2014, AccessIsp, Month,
@@ -77,14 +78,23 @@ pub fn testbed_model(reps: u32, seed: u64) -> SignatureClassifier {
 
 /// [`testbed_model`] with the sweep spread over `jobs` workers.
 pub fn testbed_model_jobs(reps: u32, seed: u64, jobs: usize) -> SignatureClassifier {
+    testbed_model_with(reps, seed, &Executor::new(jobs))
+}
+
+/// [`testbed_model`] on a caller-configured executor (worker count,
+/// per-scenario deadline, …).
+pub fn testbed_model_with(reps: u32, seed: u64, exec: &Executor) -> SignatureClassifier {
     let sweep = Sweep {
         grid: small_grid(),
         reps,
         profile: Profile::Scaled,
         seed,
     };
-    let (_, model) = train_sweep(&sweep, 0.7, TreeParams::default(), jobs, |_| {});
-    model.expect("trainable")
+    let (_, model) = train_sweep_with(&sweep, 0.7, TreeParams::default(), exec, |_| {});
+    match model {
+        Some(m) => m,
+        None => panic!("reference sweep produced no trainable dataset (reps {reps}, seed {seed})"),
+    }
 }
 
 /// One Figure-7 bar: fraction classified self-induced.

@@ -83,7 +83,19 @@ pub fn run_jobs<F: FnMut(ProgressEvent)>(
     jobs: usize,
     progress: F,
 ) -> Fig1Data {
-    collect(&Executor::new(jobs).run_with_progress(&campaign(reps, profile, seed), progress))
+    run_with(reps, profile, seed, &Executor::new(jobs), progress)
+}
+
+/// [`run`] on a caller-configured executor (worker count, per-scenario
+/// deadline, …).
+pub fn run_with<F: FnMut(ProgressEvent)>(
+    reps: u32,
+    profile: Profile,
+    seed: u64,
+    exec: &Executor,
+    progress: F,
+) -> Fig1Data {
+    collect(&exec.run_with_progress(&campaign(reps, profile, seed), progress))
 }
 
 /// Print the two CDFs as aligned percentile tables.

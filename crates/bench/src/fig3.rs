@@ -3,7 +3,7 @@
 
 use csig_core::{threshold_sweep, ThresholdPoint};
 use csig_dtree::TreeParams;
-use csig_exec::ProgressEvent;
+use csig_exec::{Executor, ProgressEvent};
 use csig_features::CongestionClass;
 use csig_testbed::{paper_grid, small_grid, Profile, Sweep, TestResult};
 use serde::{Deserialize, Serialize};
@@ -38,6 +38,19 @@ pub fn run_sweep_jobs<F: FnMut(ProgressEvent)>(
     progress: F,
 ) -> Vec<TestResult> {
     sweep(reps, full_grid, profile, seed).run_jobs(jobs, progress)
+}
+
+/// [`run_sweep`] on a caller-configured executor (worker count,
+/// per-scenario deadline, …).
+pub fn run_sweep_with<F: FnMut(ProgressEvent)>(
+    reps: u32,
+    full_grid: bool,
+    profile: Profile,
+    seed: u64,
+    exec: &Executor,
+    progress: F,
+) -> Vec<TestResult> {
+    sweep(reps, full_grid, profile, seed).run_with(exec, progress)
 }
 
 /// The Figure-3 threshold sweep over pre-computed results.

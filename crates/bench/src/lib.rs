@@ -14,16 +14,19 @@
 //! | [`tslp_exp`] | Fig. 6 and §5.4 — TSLP2017 |
 //! | [`ablation`] | feature-set / tree-depth ablations |
 //! | [`cc_variants`] | §6 robustness: CC algorithm, queue, buffer |
+//! | [`impair`] | robustness extension: precision/recall under bursty loss and reordering |
 //! | [`web100_exp`] | §6 extension: kernel-sample (Web100) classification |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ablation;
 pub mod cc_variants;
 pub mod dispute;
 pub mod fig1;
 pub mod fig3;
+pub mod impair;
 pub mod multiplexing;
 pub mod tslp_exp;
 pub mod web100_exp;

@@ -45,7 +45,10 @@ pub fn reference_model(profile: Profile, reps: u32, seed: u64) -> SignatureClass
         seed,
     }
     .run(|_, _| {});
-    train_from_results(&results, 0.7, TreeParams::default()).expect("trainable sweep")
+    match train_from_results(&results, 0.7, TreeParams::default()) {
+        Some(m) => m,
+        None => panic!("reference sweep produced no trainable dataset (reps {reps}, seed {seed})"),
+    }
 }
 
 fn access50() -> AccessParams {

@@ -6,6 +6,56 @@ use crate::live::LiveAnalyzer;
 use csig_features::FeatureError;
 use csig_netsim::{Capture, FlowId};
 
+/// Data-quality flags attached to a [`FlowReport`]: the flow was still
+/// classified (when possible), but the conditions below degrade how
+/// much the verdict should be trusted. A report with no flag set came
+/// from a cleanly closed, in-order flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowQuality {
+    /// The record stream ended while the flow was still open — the
+    /// report covers a truncated prefix of the flow.
+    pub truncated: bool,
+    /// The flow's FIN exchange never completed before the report was
+    /// emitted (truncated and idle-evicted flows always set this).
+    pub never_closed: bool,
+    /// The flow was dropped by the analyzer's idle timeout
+    /// ([`crate::LiveAnalyzer::with_idle_timeout`]) after producing no
+    /// records for at least the timeout.
+    pub idle_evicted: bool,
+    /// The probe saw inbound packets out of order (packet-id or
+    /// cumulative-ACK regression): RTT samples may be contaminated.
+    pub reorder_suspect: bool,
+}
+
+impl FlowQuality {
+    /// `true` when no degradation flag is set.
+    pub fn is_clean(&self) -> bool {
+        !(self.truncated || self.never_closed || self.idle_evicted || self.reorder_suspect)
+    }
+}
+
+impl std::fmt::Display for FlowQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut flags = vec![];
+        if self.truncated {
+            flags.push("truncated");
+        }
+        if self.never_closed {
+            flags.push("never-closed");
+        }
+        if self.idle_evicted {
+            flags.push("idle-evicted");
+        }
+        if self.reorder_suspect {
+            flags.push("reorder-suspect");
+        }
+        write!(f, "{}", flags.join("+"))
+    }
+}
+
 /// Per-flow outcome of analyzing a capture.
 #[derive(Debug, Clone)]
 pub struct FlowReport {
@@ -13,6 +63,8 @@ pub struct FlowReport {
     pub flow: FlowId,
     /// The verdict, or why the flow was skipped.
     pub verdict: Result<Verdict, FeatureError>,
+    /// Degradation flags (see [`FlowQuality`]).
+    pub quality: FlowQuality,
 }
 
 /// Classify every TCP flow in a server-side capture.

@@ -101,7 +101,10 @@ impl SignatureClassifier {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("model serializes")
+        match serde_json::to_string_pretty(self) {
+            Ok(s) => s,
+            Err(e) => unreachable!("model serialization cannot fail: {e}"),
+        }
     }
 
     /// Load from JSON.

@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod classifier;
@@ -65,12 +66,12 @@ pub mod live;
 pub mod training;
 pub mod web100_mode;
 
-pub use analysis::{analyze_capture, FlowReport};
+pub use analysis::{analyze_capture, FlowQuality, FlowReport};
 pub use classifier::{ModelMeta, SignatureClassifier, Verdict};
-pub use live::LiveAnalyzer;
+pub use live::{cross_check_reports, CrossCheckError, LiveAnalyzer};
 pub use training::{
     dataset_at_threshold, ground_truth_accuracy, threshold_point, threshold_sweep,
-    train_from_results, train_sweep, GroundTruthAccuracy, ThresholdPoint,
+    train_from_results, train_sweep, train_sweep_with, GroundTruthAccuracy, ThresholdPoint,
 };
 pub use web100_mode::{classify_conn_stats, features_from_stats, slow_start_rtts_ms};
 

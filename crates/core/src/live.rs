@@ -13,12 +13,13 @@
 //! The batch path replays a buffered capture through this same type,
 //! so both paths produce identical reports by construction.
 
-use crate::analysis::FlowReport;
+use crate::analysis::{FlowQuality, FlowReport};
 use crate::classifier::{SignatureClassifier, Verdict};
 use csig_features::FlowProbe;
-use csig_netsim::{Direction, FlowId, PacketRecord, PacketSink};
+use csig_netsim::{Direction, FlowId, PacketRecord, PacketSink, SimDuration, SimTime};
 use csig_trace::OffsetTracker;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// Watches one flow's FIN exchange from the server-side tap.
 ///
@@ -86,6 +87,8 @@ impl FinWatcher {
 struct LiveFlow {
     probe: FlowProbe,
     fin: FinWatcher,
+    /// Timestamp of the flow's most recent record (for idle eviction).
+    last_seen: SimTime,
 }
 
 /// Streaming equivalent of [`analyze_capture`](crate::analyze_capture):
@@ -120,38 +123,96 @@ pub struct LiveAnalyzer {
     flows: BTreeMap<FlowId, LiveFlow>,
     closed: BTreeSet<FlowId>,
     done: Vec<FlowReport>,
+    idle_timeout: Option<SimDuration>,
+    last_sweep: SimTime,
 }
 
 impl LiveAnalyzer {
-    /// An analyzer classifying with `clf`.
+    /// An analyzer classifying with `clf`; flows are tracked until they
+    /// close or the stream ends (no idle eviction).
     pub fn new(clf: SignatureClassifier) -> Self {
         LiveAnalyzer {
             clf,
             flows: BTreeMap::new(),
             closed: BTreeSet::new(),
             done: Vec::new(),
+            idle_timeout: None,
+            last_sweep: SimTime::ZERO,
         }
+    }
+
+    /// Builder: evict flows that produce no records for at least
+    /// `timeout` of *record* time (never wall clock, so eviction is
+    /// deterministic). An evicted flow is reported immediately with
+    /// [`FlowQuality::idle_evicted`] (and `never_closed`) set rather
+    /// than holding state until [`LiveAnalyzer::finish`] — the fate of
+    /// flows whose FIN is lost or that simply die. The sweep runs once
+    /// per `timeout` of stream time, so eviction happens between one
+    /// and two timeouts after a flow's last record.
+    ///
+    /// # Panics
+    /// Panics if `timeout` is zero.
+    pub fn with_idle_timeout(mut self, timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "idle timeout must be positive");
+        self.idle_timeout = Some(timeout);
+        self
     }
 
     /// Consume one record, routing it to its flow's probe. If this
     /// record completes the flow's FIN exchange, the flow's report is
     /// queued (see [`LiveAnalyzer::drain_completed`]) and its state
-    /// dropped.
+    /// dropped. With an idle timeout configured, flows that have been
+    /// silent too long are evicted and reported as degraded.
     pub fn push(&mut self, rec: &PacketRecord) {
         let flow = rec.pkt.flow;
-        if self.closed.contains(&flow) {
-            return;
+        if !self.closed.contains(&flow) {
+            let lf = self.flows.entry(flow).or_insert_with(|| LiveFlow {
+                probe: FlowProbe::new(flow),
+                fin: FinWatcher::default(),
+                last_seen: rec.time,
+            });
+            lf.last_seen = rec.time;
+            lf.probe.push(rec);
+            lf.fin.push(rec);
+            if lf.fin.closed() {
+                if let Some(lf) = self.flows.remove(&flow) {
+                    self.closed.insert(flow);
+                    let quality = FlowQuality {
+                        reorder_suspect: lf.probe.reorder_suspect(),
+                        ..FlowQuality::default()
+                    };
+                    self.done.push(report_for(&self.clf, &lf.probe, quality));
+                }
+            }
         }
-        let lf = self.flows.entry(flow).or_insert_with(|| LiveFlow {
-            probe: FlowProbe::new(flow),
-            fin: FinWatcher::default(),
-        });
-        lf.probe.push(rec);
-        lf.fin.push(rec);
-        if lf.fin.closed() {
-            let lf = self.flows.remove(&flow).expect("just inserted");
-            self.closed.insert(flow);
-            self.done.push(report_for(&self.clf, &lf.probe));
+        if let Some(timeout) = self.idle_timeout {
+            if rec.time.saturating_since(self.last_sweep) >= timeout {
+                self.last_sweep = rec.time;
+                self.evict_idle(rec.time, timeout);
+            }
+        }
+    }
+
+    /// Evict (and report) every open flow idle for at least `timeout`
+    /// as of `now`.
+    fn evict_idle(&mut self, now: SimTime, timeout: SimDuration) {
+        let expired: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, lf)| now.saturating_since(lf.last_seen) >= timeout)
+            .map(|(flow, _)| *flow)
+            .collect();
+        for flow in expired {
+            if let Some(lf) = self.flows.remove(&flow) {
+                self.closed.insert(flow);
+                let quality = FlowQuality {
+                    idle_evicted: true,
+                    never_closed: true,
+                    reorder_suspect: lf.probe.reorder_suspect(),
+                    ..FlowQuality::default()
+                };
+                self.done.push(report_for(&self.clf, &lf.probe, quality));
+            }
         }
     }
 
@@ -172,10 +233,18 @@ impl LiveAnalyzer {
 
     /// Classify any still-open flows and return all undrained reports,
     /// ordered by flow id (the order
-    /// [`analyze_capture`](crate::analyze_capture) reports in).
+    /// [`analyze_capture`](crate::analyze_capture) reports in). Flows
+    /// still open here never completed their FIN exchange, so their
+    /// reports carry [`FlowQuality::truncated`] and `never_closed`.
     pub fn finish(mut self) -> Vec<FlowReport> {
         for (_, lf) in std::mem::take(&mut self.flows) {
-            self.done.push(report_for(&self.clf, &lf.probe));
+            let quality = FlowQuality {
+                truncated: true,
+                never_closed: true,
+                reorder_suspect: lf.probe.reorder_suspect(),
+                ..FlowQuality::default()
+            };
+            self.done.push(report_for(&self.clf, &lf.probe, quality));
         }
         self.done.sort_by_key(|r| r.flow);
         self.done
@@ -190,7 +259,7 @@ impl PacketSink for LiveAnalyzer {
 
 /// Classify one probe's accumulated state — the streaming mirror of
 /// [`SignatureClassifier::classify_trace`].
-fn report_for(clf: &SignatureClassifier, probe: &FlowProbe) -> FlowReport {
+fn report_for(clf: &SignatureClassifier, probe: &FlowProbe, quality: FlowQuality) -> FlowReport {
     let verdict = probe.features().map(|features| {
         let (class, confidence) = clf.classify_with_confidence(&features);
         Verdict {
@@ -203,7 +272,104 @@ fn report_for(clf: &SignatureClassifier, probe: &FlowProbe) -> FlowReport {
     FlowReport {
         flow: probe.flow(),
         verdict,
+        quality,
     }
+}
+
+/// Why two report sets (streaming vs batch) disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossCheckError {
+    /// Different number of reports.
+    CountMismatch {
+        /// Reports on the live side.
+        live: usize,
+        /// Reports on the batch side.
+        batch: usize,
+    },
+    /// Same position, different flow id.
+    FlowMismatch {
+        /// Position in the (flow-ordered) report vectors.
+        index: usize,
+        /// Flow id on the live side.
+        live: FlowId,
+        /// Flow id on the batch side.
+        batch: FlowId,
+    },
+    /// Same flow, different verdict or quality.
+    VerdictMismatch {
+        /// The flow whose reports disagree.
+        flow: FlowId,
+        /// Debug rendering of the live report.
+        live: String,
+        /// Debug rendering of the batch report.
+        batch: String,
+    },
+}
+
+impl fmt::Display for CrossCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossCheckError::CountMismatch { live, batch } => {
+                write!(f, "report count mismatch: live {live} vs batch {batch}")
+            }
+            CrossCheckError::FlowMismatch { index, live, batch } => {
+                write!(f, "flow mismatch at {index}: live {live} vs batch {batch}")
+            }
+            CrossCheckError::VerdictMismatch { flow, live, batch } => {
+                write!(
+                    f,
+                    "verdict mismatch for {flow}: live {live} vs batch {batch}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrossCheckError {}
+
+/// Verify that a streaming report set and a batch report set are
+/// equivalent: same flows in the same order, bit-identical verdicts
+/// (class, confidence, features, slow-start window) and equal quality
+/// flags. Returns a typed error describing the first divergence — the
+/// streaming==batch invariant check, usable by library consumers and
+/// harnesses without aborting the process.
+pub fn cross_check_reports(
+    live: &[FlowReport],
+    batch: &[FlowReport],
+) -> Result<(), CrossCheckError> {
+    if live.len() != batch.len() {
+        return Err(CrossCheckError::CountMismatch {
+            live: live.len(),
+            batch: batch.len(),
+        });
+    }
+    for (index, (l, b)) in live.iter().zip(batch).enumerate() {
+        if l.flow != b.flow {
+            return Err(CrossCheckError::FlowMismatch {
+                index,
+                live: l.flow,
+                batch: b.flow,
+            });
+        }
+        let verdicts_match = match (&l.verdict, &b.verdict) {
+            (Ok(lv), Ok(bv)) => {
+                lv.class == bv.class
+                    && lv.confidence == bv.confidence
+                    && lv.features == bv.features
+                    && lv.slow_start == bv.slow_start
+            }
+            (Err(le), Err(be)) => le == be,
+            _ => false,
+        };
+        if !verdicts_match || l.quality != b.quality {
+            return Err(CrossCheckError::VerdictMismatch {
+                flow: l.flow,
+                live: format!("{l:?}"),
+                batch: format!("{b:?}"),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -271,20 +437,34 @@ mod tests {
         let live_reports = live.clone().finish();
         let capture = sim.take_capture(cap);
         let batch_reports = analyze_capture(&clf, &capture);
-        assert_eq!(live_reports.len(), batch_reports.len());
-        for (l, b) in live_reports.iter().zip(&batch_reports) {
-            assert_eq!(l.flow, b.flow);
-            match (&l.verdict, &b.verdict) {
-                (Ok(lv), Ok(bv)) => {
-                    assert_eq!(lv.class, bv.class);
-                    assert_eq!(lv.confidence, bv.confidence);
-                    assert_eq!(lv.features, bv.features);
-                    assert_eq!(lv.slow_start, bv.slow_start);
-                }
-                (Err(le), Err(be)) => assert_eq!(le, be),
-                (l, b) => panic!("verdict mismatch: {l:?} vs {b:?}"),
-            }
+        // The typed cross-check surfaces any divergence as an error
+        // value instead of a process abort.
+        assert_eq!(cross_check_reports(&live_reports, &batch_reports), Ok(()));
+        assert!(
+            live_reports.iter().all(|r| r.quality.is_clean()),
+            "cleanly closed flows carry no degradation flags: {:?}",
+            live_reports.iter().map(|r| r.quality).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cross_check_reports_divergence_as_typed_error() {
+        use crate::analysis::FlowQuality;
+        let clean = FlowReport {
+            flow: FlowId(1),
+            verdict: Err(csig_features::FeatureError::TooFewSamples { got: 0 }),
+            quality: FlowQuality::default(),
+        };
+        let mut degraded = clean.clone();
+        degraded.quality.truncated = true;
+        match cross_check_reports(std::slice::from_ref(&clean), &[degraded]) {
+            Err(CrossCheckError::VerdictMismatch { flow, .. }) => assert_eq!(flow, FlowId(1)),
+            other => panic!("expected a verdict mismatch, got {other:?}"),
         }
+        assert_eq!(
+            cross_check_reports(&[clean], &[]),
+            Err(CrossCheckError::CountMismatch { live: 1, batch: 0 })
+        );
     }
 
     #[test]
@@ -292,5 +472,64 @@ mod tests {
         let live = LiveAnalyzer::new(tiny_model());
         assert_eq!(live.open_flows(), 0);
         assert!(live.finish().is_empty());
+    }
+
+    fn bare_record(flow: u32, t: SimTime) -> PacketRecord {
+        use csig_netsim::{NodeId, Packet, PacketId, PacketKind, TcpFlags, TcpHeader, NO_SACK};
+        PacketRecord {
+            time: t,
+            dir: Direction::Out,
+            pkt: Packet {
+                id: PacketId(0),
+                flow: FlowId(flow),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 1052,
+                sent_at: t,
+                kind: PacketKind::Tcp(TcpHeader {
+                    seq: 1,
+                    ack: 0,
+                    flags: TcpFlags::ACK,
+                    payload_len: 1000,
+                    window: 65535,
+                    sack: NO_SACK,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn idle_flows_are_evicted_with_quality_flags() {
+        let mut live = LiveAnalyzer::new(tiny_model()).with_idle_timeout(SimDuration::from_secs(5));
+        // Flow 1 goes quiet at t=1s; flow 2 keeps talking.
+        live.push(&bare_record(1, SimTime::from_secs(1)));
+        for s in 1..=20 {
+            live.push(&bare_record(2, SimTime::from_secs(s)));
+        }
+        assert_eq!(live.open_flows(), 1, "idle flow evicted, live flow kept");
+        let evicted = live.drain_completed();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].flow, FlowId(1));
+        assert!(evicted[0].quality.idle_evicted);
+        assert!(evicted[0].quality.never_closed);
+        assert!(!evicted[0].quality.truncated);
+        // Late records of the evicted flow are ignored, not revived.
+        live.push(&bare_record(1, SimTime::from_secs(21)));
+        assert_eq!(live.open_flows(), 1);
+        // The still-open flow is truncated when the stream ends.
+        let rest = live.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].flow, FlowId(2));
+        assert!(rest[0].quality.truncated && rest[0].quality.never_closed);
+        assert!(!rest[0].quality.idle_evicted);
+    }
+
+    #[test]
+    fn without_timeout_no_eviction_happens() {
+        let mut live = LiveAnalyzer::new(tiny_model());
+        live.push(&bare_record(1, SimTime::from_secs(1)));
+        live.push(&bare_record(2, SimTime::from_secs(500)));
+        assert_eq!(live.open_flows(), 2);
+        assert!(live.completed().is_empty());
     }
 }

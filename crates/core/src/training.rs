@@ -3,7 +3,7 @@
 
 use crate::classifier::{ModelMeta, SignatureClassifier};
 use csig_dtree::{ConfusionMatrix, Dataset, TreeParams};
-use csig_exec::ProgressEvent;
+use csig_exec::{Executor, ProgressEvent};
 use csig_features::CongestionClass;
 use csig_testbed::{build_dataset, Sweep, TestResult};
 use serde::{Deserialize, Serialize};
@@ -41,7 +41,19 @@ pub fn train_sweep<F: FnMut(ProgressEvent)>(
     jobs: usize,
     progress: F,
 ) -> (Vec<TestResult>, Option<SignatureClassifier>) {
-    let results = sweep.run_jobs(jobs, progress);
+    train_sweep_with(sweep, threshold, params, &Executor::new(jobs), progress)
+}
+
+/// [`train_sweep`] on a caller-configured executor (worker count,
+/// per-scenario deadline, …).
+pub fn train_sweep_with<F: FnMut(ProgressEvent)>(
+    sweep: &Sweep,
+    threshold: f64,
+    params: TreeParams,
+    exec: &Executor,
+    progress: F,
+) -> (Vec<TestResult>, Option<SignatureClassifier>) {
+    let results = sweep.run_with(exec, progress);
     let model = train_from_results(&results, threshold, params);
     (results, model)
 }

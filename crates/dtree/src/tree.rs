@@ -116,12 +116,14 @@ impl DecisionTree {
     fn build(&mut self, data: &Dataset, idx: Vec<usize>, depth: usize) -> usize {
         let counts = self.count_classes(data, &idx);
         let node_gini = gini(&counts);
-        let majority = counts
+        let Some(majority) = counts
             .iter()
             .enumerate()
             .max_by_key(|&(_, c)| *c)
             .map(|(i, _)| i)
-            .expect("non-empty counts");
+        else {
+            unreachable!("count_classes returns one slot per class")
+        };
 
         let stop = depth >= self.params.max_depth
             || idx.len() < self.params.min_samples_split
@@ -174,11 +176,7 @@ impl DecisionTree {
         let mut best: Option<BestSplit> = None;
         for feature in 0..self.dim {
             let mut order: Vec<usize> = idx.to_vec();
-            order.sort_by(|&a, &b| {
-                data.features[a][feature]
-                    .partial_cmp(&data.features[b][feature])
-                    .expect("finite features")
-            });
+            order.sort_by(|&a, &b| data.features[a][feature].total_cmp(&data.features[b][feature]));
             let mut left_counts = vec![0usize; self.n_classes];
             let mut right_counts = self.count_classes(data, idx);
             for w in 0..order.len() - 1 {

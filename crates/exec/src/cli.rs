@@ -11,12 +11,16 @@
 //!   scaled one (interpreted by the binary; this module only parses).
 //! * `--progress` — verbose per-scenario completion lines (index,
 //!   elapsed, worker) instead of the default sparse `done/total` ones.
+//! * `--deadline SECS` — soft per-scenario deadline: a scenario that
+//!   runs longer is reported as failed (with its seed) instead of its
+//!   artifact; the rest of the campaign is unaffected.
 //!
 //! Experiment-specific flags and positionals stay with the binary;
 //! the accessor helpers here ([`CommonArgs::flag_value`],
 //! [`CommonArgs::positional_parsed`], …) keep their parsing uniform.
 
 use std::str::FromStr;
+use std::time::Duration;
 
 use crate::{Executor, ProgressEvent};
 
@@ -32,6 +36,8 @@ pub struct CommonArgs {
     pub paper: bool,
     /// Verbose per-scenario progress requested.
     pub progress: bool,
+    /// Soft per-scenario deadline (`--deadline SECS`).
+    pub deadline: Option<Duration>,
 }
 
 impl CommonArgs {
@@ -48,6 +54,7 @@ impl CommonArgs {
             seed: None,
             paper: false,
             progress: false,
+            deadline: None,
         };
         if let Some(v) = parsed.flag_value("--jobs") {
             parsed.jobs = v.parse().unwrap_or_else(|_| {
@@ -58,12 +65,17 @@ impl CommonArgs {
         parsed.seed = parsed.flag_value("--seed").and_then(|v| v.parse().ok());
         parsed.paper = parsed.has_flag("--paper");
         parsed.progress = parsed.has_flag("--progress");
+        parsed.deadline = parsed
+            .flag_value("--deadline")
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .map(Duration::from_secs_f64);
         parsed
     }
 
-    /// An executor sized by `--jobs`.
+    /// An executor sized by `--jobs`, with any `--deadline` applied.
     pub fn executor(&self) -> Executor {
-        Executor::new(self.jobs)
+        Executor::new(self.jobs).with_deadline(self.deadline)
     }
 
     /// The `--seed` override, or the experiment's default.
@@ -130,13 +142,16 @@ impl CommonArgs {
         move |e: ProgressEvent| {
             if verbose {
                 eprintln!(
-                    "  [{:>6.1}s] scenario {:>4} done ({}/{}, worker {})",
+                    "  [{:>6.1}s] scenario {:>4} {} ({}/{}, worker {})",
                     e.elapsed.as_secs_f64(),
                     e.index,
+                    if e.ok { "done" } else { "FAILED" },
                     e.done,
                     e.total,
                     e.worker
                 );
+            } else if !e.ok {
+                eprintln!("  scenario {} FAILED ({}/{})", e.index, e.done, e.total);
             } else if every > 0 && (e.done.is_multiple_of(every) || e.done == e.total) {
                 eprintln!("  {}/{}", e.done, e.total);
             }
@@ -188,6 +203,19 @@ mod tests {
         // …but boolean flags don't swallow the next argument.
         let b = args(&["--paper", "3"]);
         assert_eq!(b.positional_parsed(5u32), 3);
+    }
+
+    #[test]
+    fn deadline_parses_and_feeds_executor() {
+        let a = args(&["--deadline", "2.5"]);
+        assert_eq!(a.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(a.executor().deadline(), a.deadline);
+        // Absent, malformed, or non-positive values mean no deadline.
+        assert_eq!(args(&[]).deadline, None);
+        assert_eq!(args(&["--deadline", "x"]).deadline, None);
+        assert_eq!(args(&["--deadline", "0"]).deadline, None);
+        // The value is not a positional.
+        assert_eq!(args(&["--deadline", "2"]).positional_parsed(9u32), 9);
     }
 
     #[test]

@@ -23,9 +23,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cli;
 
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -123,6 +126,137 @@ pub struct ProgressEvent {
     pub elapsed: Duration,
     /// Id of the worker that ran it (0 for a sequential run).
     pub worker: usize,
+    /// Whether the scenario produced an artifact (`false`: it panicked
+    /// or overran the deadline).
+    pub ok: bool,
+}
+
+/// Why a scenario failed to produce an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The scenario panicked; the worker caught the unwind.
+    Panicked,
+    /// The scenario finished after the executor's per-scenario deadline.
+    /// Scenarios run on ordinary OS threads and cannot be interrupted,
+    /// so the deadline is *soft*: the overrun is detected at completion
+    /// and the late artifact is discarded.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panicked => write!(f, "panicked"),
+            FailureKind::DeadlineExceeded => write!(f, "exceeded deadline"),
+        }
+    }
+}
+
+/// Structured record of a scenario that failed: everything needed to
+/// reproduce it (`seed`) and triage it (panic payload, timing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// Submission index within the campaign.
+    pub index: usize,
+    /// The seed the scenario ran with — rerunning the same scenario
+    /// with this seed reproduces the failure deterministically.
+    pub seed: u64,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The panic payload (if it was a string), or a timing description.
+    pub message: String,
+    /// How long the scenario ran before failing.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario {} (seed {:#018x}) {} after {:.2}s: {}",
+            self.index,
+            self.seed,
+            self.kind,
+            self.elapsed.as_secs_f64(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Outcome of one scenario in an isolated run.
+pub type ScenarioOutcome<A> = Result<A, ScenarioError>;
+
+/// Results of a fault-isolated campaign run: one outcome per scenario,
+/// in submission order. A panicking or overrunning scenario becomes a
+/// [`ScenarioError`] entry; every other scenario still completes and
+/// its artifact is byte-identical to what a run without the failing
+/// scenario would produce (scenario seeds are fixed at submission).
+#[derive(Debug)]
+pub struct CampaignRun<A> {
+    /// Per-scenario outcomes in submission order.
+    pub outcomes: Vec<ScenarioOutcome<A>>,
+}
+
+impl<A> CampaignRun<A> {
+    /// The failures, in submission order.
+    pub fn failures(&self) -> Vec<&ScenarioError> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.as_ref().err())
+            .collect()
+    }
+
+    /// Whether every scenario produced an artifact.
+    pub fn is_success(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+
+    /// The artifacts of successful scenarios, in submission order
+    /// (failed scenarios are skipped).
+    pub fn artifacts(self) -> Vec<A> {
+        self.outcomes.into_iter().filter_map(Result::ok).collect()
+    }
+
+    /// End-of-campaign failure summary: one line per failure, or a
+    /// success note.
+    pub fn summary(&self) -> String {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return format!("all {} scenarios succeeded", self.outcomes.len());
+        }
+        let mut s = format!(
+            "{}/{} scenarios failed:",
+            failures.len(),
+            self.outcomes.len()
+        );
+        for e in failures {
+            s.push_str("\n  ");
+            s.push_str(&e.to_string());
+        }
+        s
+    }
+
+    /// All artifacts, panicking with the failure summary if any
+    /// scenario failed — the strict path [`Executor::run`] uses.
+    pub fn expect_artifacts(self) -> Vec<A> {
+        if !self.is_success() {
+            panic!("{}", self.summary());
+        }
+        self.artifacts()
+    }
+}
+
+/// Render a caught panic payload (string payloads pass through).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Worker count for `--jobs 0` / unspecified: one per available core.
@@ -133,23 +267,43 @@ pub fn default_jobs() -> usize {
 }
 
 /// Runs campaigns; `jobs` controls the worker pool size.
+///
+/// Scenarios run fault-isolated: a panic inside [`Scenario::run`] is
+/// caught in the worker and turned into a [`ScenarioError`] carrying
+/// the panic payload and the scenario's seed; the rest of the campaign
+/// completes. An optional soft per-scenario deadline discards late
+/// artifacts the same way. The strict entry points ([`Executor::run`],
+/// [`Executor::run_with_progress`]) keep their historical contract —
+/// any failure aborts with the end-of-campaign summary — while
+/// [`Executor::run_isolated`] exposes the per-scenario outcomes.
 #[derive(Debug, Clone, Copy)]
 pub struct Executor {
     jobs: usize,
+    deadline: Option<Duration>,
 }
 
 impl Executor {
     /// An executor with the given worker count (`0` means
-    /// [`default_jobs`]).
+    /// [`default_jobs`]) and no deadline.
     pub fn new(jobs: usize) -> Self {
         Executor {
             jobs: if jobs == 0 { default_jobs() } else { jobs },
+            deadline: None,
         }
     }
 
     /// A single-worker executor (runs on the calling thread).
     pub fn sequential() -> Self {
-        Executor { jobs: 1 }
+        Executor::new(1)
+    }
+
+    /// Builder: set (or clear) the soft per-scenario deadline. A
+    /// scenario that finishes after the deadline is reported as
+    /// [`FailureKind::DeadlineExceeded`] and its artifact discarded;
+    /// running scenarios are never interrupted mid-flight.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The effective worker count.
@@ -157,7 +311,17 @@ impl Executor {
         self.jobs
     }
 
+    /// The soft per-scenario deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
     /// Run the campaign, returning artifacts in submission order.
+    ///
+    /// # Panics
+    /// Panics with the failure summary if any scenario panicked or
+    /// overran the deadline (after every other scenario completed).
+    /// Use [`Executor::run_isolated`] to handle failures structurally.
     pub fn run<S>(&self, campaign: &Campaign<S>) -> Vec<S::Artifact>
     where
         S: Scenario + Sync,
@@ -165,15 +329,35 @@ impl Executor {
         self.run_with_progress(campaign, |_| {})
     }
 
-    /// Run the campaign, invoking `progress` on the calling thread as
-    /// each scenario completes. Artifacts come back in submission
-    /// order regardless of `jobs`; only the order of progress events
-    /// reflects actual completion order.
-    pub fn run_with_progress<S, F>(
+    /// Like [`Executor::run`] with a progress callback; panics with the
+    /// failure summary if any scenario failed.
+    pub fn run_with_progress<S, F>(&self, campaign: &Campaign<S>, progress: F) -> Vec<S::Artifact>
+    where
+        S: Scenario + Sync,
+        F: FnMut(ProgressEvent),
+    {
+        self.run_isolated_with_progress(campaign, progress)
+            .expect_artifacts()
+    }
+
+    /// Run the campaign fault-isolated, returning one
+    /// [`ScenarioOutcome`] per scenario in submission order.
+    pub fn run_isolated<S>(&self, campaign: &Campaign<S>) -> CampaignRun<S::Artifact>
+    where
+        S: Scenario + Sync,
+    {
+        self.run_isolated_with_progress(campaign, |_| {})
+    }
+
+    /// Run the campaign fault-isolated, invoking `progress` on the
+    /// calling thread as each scenario completes. Outcomes come back
+    /// in submission order regardless of `jobs`; only the order of
+    /// progress events reflects actual completion order.
+    pub fn run_isolated_with_progress<S, F>(
         &self,
         campaign: &Campaign<S>,
         mut progress: F,
-    ) -> Vec<S::Artifact>
+    ) -> CampaignRun<S::Artifact>
     where
         S: Scenario + Sync,
         F: FnMut(ProgressEvent),
@@ -182,28 +366,31 @@ impl Executor {
         let started = Instant::now();
 
         if self.jobs <= 1 || total <= 1 {
-            return campaign
+            let outcomes = campaign
                 .entries
                 .iter()
                 .enumerate()
                 .map(|(index, (seed, scenario))| {
-                    let artifact = scenario.run(*seed);
+                    let outcome = run_one(scenario, *seed, index, self.deadline);
                     progress(ProgressEvent {
                         index,
                         done: index + 1,
                         total,
                         elapsed: started.elapsed(),
                         worker: 0,
+                        ok: outcome.is_ok(),
                     });
-                    artifact
+                    outcome
                 })
                 .collect();
+            return CampaignRun { outcomes };
         }
 
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, usize, S::Artifact)>();
-        let mut slots: Vec<Option<S::Artifact>> = Vec::with_capacity(total);
+        let (tx, rx) = mpsc::channel::<(usize, usize, ScenarioOutcome<S::Artifact>)>();
+        let mut slots: Vec<Option<ScenarioOutcome<S::Artifact>>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
+        let deadline = self.deadline;
 
         std::thread::scope(|scope| {
             for worker in 0..self.jobs.min(total) {
@@ -216,11 +403,11 @@ impl Executor {
                         break;
                     }
                     let (seed, scenario) = &entries[index];
-                    let artifact = scenario.run(*seed);
+                    let outcome = run_one(scenario, *seed, index, deadline);
                     // The receiver outlives all workers; a send only
                     // fails if the main thread panicked, in which case
                     // the scope is unwinding anyway.
-                    if tx.send((index, worker, artifact)).is_err() {
+                    if tx.send((index, worker, outcome)).is_err() {
                         break;
                     }
                 });
@@ -228,26 +415,73 @@ impl Executor {
             drop(tx);
 
             // Progress callbacks run here on the calling thread, so
-            // `progress` needs neither Send nor Sync.
+            // `progress` needs neither Send nor Sync. Every worker
+            // sends exactly one outcome per claimed index (panics are
+            // caught inside `run_one`), so `total` messages arrive.
             for done in 1..=total {
-                let (index, worker, artifact) = rx
-                    .recv()
-                    .expect("a worker panicked while running a scenario");
-                slots[index] = Some(artifact);
+                let Ok((index, worker, outcome)) = rx.recv() else {
+                    unreachable!("workers cannot die: scenario panics are caught");
+                };
                 progress(ProgressEvent {
                     index,
                     done,
                     total,
                     elapsed: started.elapsed(),
                     worker,
+                    ok: outcome.is_ok(),
                 });
+                slots[index] = Some(outcome);
             }
         });
 
-        slots
+        let outcomes = slots
             .into_iter()
-            .map(|slot| slot.expect("every submission index completed"))
-            .collect()
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Some(outcome) => outcome,
+                None => unreachable!("scenario {index} neither completed nor failed"),
+            })
+            .collect();
+        CampaignRun { outcomes }
+    }
+}
+
+/// Run one scenario under `catch_unwind`, applying the soft deadline.
+///
+/// `AssertUnwindSafe` is sound here because a failed scenario's state
+/// is never observed again: scenarios are `Fn(&self, seed)` over shared
+/// immutable state, and the executor drops nothing mid-campaign.
+fn run_one<S: Scenario>(
+    scenario: &S,
+    seed: u64,
+    index: usize,
+    deadline: Option<Duration>,
+) -> ScenarioOutcome<S::Artifact> {
+    let started = Instant::now();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| scenario.run(seed)));
+    let elapsed = started.elapsed();
+    match result {
+        Ok(artifact) => match deadline {
+            Some(d) if elapsed > d => Err(ScenarioError {
+                index,
+                seed,
+                kind: FailureKind::DeadlineExceeded,
+                message: format!(
+                    "ran {:.2}s against a {:.2}s deadline",
+                    elapsed.as_secs_f64(),
+                    d.as_secs_f64()
+                ),
+                elapsed,
+            }),
+            _ => Ok(artifact),
+        },
+        Err(payload) => Err(ScenarioError {
+            index,
+            seed,
+            kind: FailureKind::Panicked,
+            message: panic_message(payload.as_ref()),
+            elapsed,
+        }),
     }
 }
 
@@ -341,5 +575,126 @@ mod tests {
     fn zero_jobs_means_available_parallelism() {
         assert_eq!(Executor::new(0).jobs(), default_jobs());
         assert!(Executor::new(3).jobs() == 3);
+    }
+
+    /// A scenario that optionally panics — for isolation tests.
+    enum Maybe {
+        Good(u64),
+        Panic,
+        Slow,
+    }
+
+    impl Scenario for Maybe {
+        type Artifact = u64;
+
+        fn run(&self, seed: u64) -> u64 {
+            match self {
+                Maybe::Good(x) => {
+                    let mut acc = seed ^ x;
+                    for _ in 0..100 {
+                        acc = csig_netsim::rng::splitmix64(acc);
+                    }
+                    acc
+                }
+                Maybe::Panic => panic!("deliberate failure"),
+                Maybe::Slow => {
+                    std::thread::sleep(Duration::from_millis(50));
+                    seed
+                }
+            }
+        }
+    }
+
+    /// Suppress the default panic hook's stderr spew for the duration
+    /// of a test that deliberately panics inside workers.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panicking_scenario_is_isolated_and_artifacts_are_identical() {
+        // Fixed explicit seeds so removing the bad scenario does not
+        // shift anyone else's seed.
+        let mut with_bad = Campaign::new(0);
+        let mut without_bad = Campaign::new(0);
+        for i in 0..12u64 {
+            if i == 5 {
+                with_bad.push_seeded(999, Maybe::Panic);
+                continue;
+            }
+            with_bad.push_seeded(100 + i, Maybe::Good(i));
+            without_bad.push_seeded(100 + i, Maybe::Good(i));
+        }
+        let (run, clean) = quiet_panics(|| {
+            let run = Executor::new(4).run_isolated(&with_bad);
+            let clean = Executor::new(4).run(&without_bad);
+            (run, clean)
+        });
+        assert!(!run.is_success());
+        let failures = run.failures();
+        assert_eq!(failures.len(), 1);
+        let e = failures[0];
+        assert_eq!(e.index, 5);
+        assert_eq!(e.seed, 999);
+        assert_eq!(e.kind, FailureKind::Panicked);
+        assert_eq!(e.message, "deliberate failure");
+        assert!(run.summary().contains("1/12 scenarios failed"));
+        // Non-failing scenarios match a run that never had the bad one.
+        assert_eq!(run.artifacts(), clean);
+    }
+
+    #[test]
+    fn progress_reports_failures() {
+        let mut c = Campaign::new(0);
+        c.push_seeded(1, Maybe::Good(1));
+        c.push_seeded(2, Maybe::Panic);
+        let mut not_ok = vec![];
+        let run = quiet_panics(|| {
+            Executor::sequential().run_isolated_with_progress(&c, |e| {
+                if !e.ok {
+                    not_ok.push(e.index);
+                }
+            })
+        });
+        assert_eq!(not_ok, vec![1]);
+        assert!(run.outcomes[0].is_ok());
+        assert!(run.outcomes[1].is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "scenarios failed")]
+    fn strict_run_panics_with_summary() {
+        let mut c = Campaign::new(0);
+        c.push_seeded(1, Maybe::Panic);
+        c.push_seeded(2, Maybe::Good(0));
+        quiet_panics(|| Executor::new(2).run(&c));
+    }
+
+    #[test]
+    fn soft_deadline_discards_late_artifacts() {
+        let mut c = Campaign::new(0);
+        c.push_seeded(1, Maybe::Good(1));
+        c.push_seeded(2, Maybe::Slow);
+        let run = Executor::sequential()
+            .with_deadline(Some(Duration::from_millis(5)))
+            .run_isolated(&c);
+        assert!(run.outcomes[0].is_ok(), "fast scenario unaffected");
+        let e = run.outcomes[1].as_ref().expect_err("slow scenario late");
+        assert_eq!(e.kind, FailureKind::DeadlineExceeded);
+        assert_eq!(e.seed, 2);
+        assert!(e.elapsed >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn no_deadline_means_no_failures() {
+        let mut c = Campaign::new(0);
+        c.push_seeded(2, Maybe::Slow);
+        let run = Executor::sequential().run_isolated(&c);
+        assert!(run.is_success());
+        assert_eq!(run.summary(), "all 1 scenarios succeeded");
     }
 }

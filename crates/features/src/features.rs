@@ -154,8 +154,9 @@ impl FeatureAccumulator {
         if got < MIN_SAMPLES {
             return Err(FeatureError::TooFewSamples { got });
         }
-        let max = self.summary.max().expect("non-empty");
-        let min = self.summary.min().expect("non-empty");
+        let (Some(max), Some(min)) = (self.summary.max(), self.summary.min()) else {
+            unreachable!("count checked non-zero above")
+        };
         if max <= 0.0 {
             return Err(FeatureError::DegenerateRtt);
         }

@@ -37,6 +37,14 @@ pub struct FlowProbe {
     acc: FeatureAccumulator,
     min_rtt_ms: Option<f64>,
     samples_total: usize,
+    max_in_packet_id: Option<u64>,
+    max_in_ack: Option<u32>,
+    reorder_suspect: bool,
+}
+
+/// Wrapping 32-bit sequence comparison: is `a` strictly before `b`?
+fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < 0x8000_0000
 }
 
 impl FlowProbe {
@@ -50,6 +58,9 @@ impl FlowProbe {
             acc: FeatureAccumulator::new(),
             min_rtt_ms: None,
             samples_total: 0,
+            max_in_packet_id: None,
+            max_in_ack: None,
+            reorder_suspect: false,
         }
     }
 
@@ -63,6 +74,7 @@ impl FlowProbe {
         if rec.pkt.flow != self.flow {
             return;
         }
+        self.watch_reordering(rec);
         let sample = self.rtt.push(rec);
         self.ss.push(rec);
         self.tput.push(rec);
@@ -115,6 +127,42 @@ impl FlowProbe {
     /// probe's only variable-size state, bounded by the flow's window.
     pub fn outstanding_len(&self) -> usize {
         self.rtt.outstanding_len()
+    }
+
+    /// Whether the probe saw evidence of network reordering on the
+    /// inbound path: an arriving packet whose simulator-assigned id is
+    /// below an id already seen (ids are assigned monotonically at send
+    /// time), or a cumulative ACK that regresses below an ACK already
+    /// received (duplicate ACKs — equal values — do not count, and
+    /// SYN/FIN-bearing packets are exempt: teardown segments may carry a
+    /// stale ACK field without any packet having been reordered). RTT
+    /// samples taken near such events are unreliable, so reports built
+    /// from this probe should be treated as degraded, not discarded.
+    pub fn reorder_suspect(&self) -> bool {
+        self.reorder_suspect
+    }
+
+    fn watch_reordering(&mut self, rec: &PacketRecord) {
+        if rec.dir != csig_netsim::Direction::In {
+            return;
+        }
+        let id = rec.pkt.id.0;
+        match self.max_in_packet_id {
+            Some(max) if id < max => self.reorder_suspect = true,
+            Some(max) if id > max => self.max_in_packet_id = Some(id),
+            None => self.max_in_packet_id = Some(id),
+            _ => {}
+        }
+        if let Some(h) = rec.pkt.tcp() {
+            if h.flags.ack() && !h.flags.syn() && !h.flags.fin() {
+                match self.max_in_ack {
+                    Some(max) if seq_lt(h.ack, max) => self.reorder_suspect = true,
+                    Some(max) if seq_lt(max, h.ack) => self.max_in_ack = Some(h.ack),
+                    None => self.max_in_ack = Some(h.ack),
+                    _ => {}
+                }
+            }
+        }
     }
 }
 
@@ -281,6 +329,68 @@ mod tests {
         let f = probe.features().unwrap();
         assert!(f.samples >= 10);
         assert!(f.norm_diff > 0.0);
+    }
+
+    #[test]
+    fn clean_exchange_is_not_reorder_suspect() {
+        let mut probe = FlowProbe::new(FlowId(1));
+        for r in &sample_records() {
+            probe.on_record(r);
+        }
+        assert!(!probe.reorder_suspect());
+    }
+
+    #[test]
+    fn ack_regression_marks_reorder_suspect() {
+        let mut probe = FlowProbe::new(FlowId(1));
+        probe.push(&rec(
+            1,
+            Direction::In,
+            10,
+            901,
+            ISS + 2000,
+            0,
+            TcpFlags::ACK,
+        ));
+        // Duplicate ACK: not reordering.
+        probe.push(&rec(
+            1,
+            Direction::In,
+            11,
+            901,
+            ISS + 2000,
+            0,
+            TcpFlags::ACK,
+        ));
+        assert!(!probe.reorder_suspect());
+        // Regressing ACK: the network delivered out of order.
+        probe.push(&rec(
+            1,
+            Direction::In,
+            12,
+            901,
+            ISS + 1000,
+            0,
+            TcpFlags::ACK,
+        ));
+        assert!(probe.reorder_suspect());
+    }
+
+    #[test]
+    fn packet_id_regression_marks_reorder_suspect() {
+        let mk = |id: u64, t_ms: u64| {
+            let mut r = rec(1, Direction::In, t_ms, 901, ISS + 1000, 0, TcpFlags::ACK);
+            r.pkt.id = PacketId(id);
+            r
+        };
+        let mut probe = FlowProbe::new(FlowId(1));
+        probe.push(&mk(10, 1));
+        probe.push(&mk(11, 2));
+        // Same id (a fault-injected duplicate): not reordering.
+        probe.push(&mk(11, 3));
+        assert!(!probe.reorder_suspect());
+        probe.push(&mk(9, 4));
+        assert!(probe.reorder_suspect());
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     Some(if n % 2 == 1 {
         v[n / 2]
@@ -109,7 +109,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
 /// per sorted sample.
 pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     v.into_iter()
         .enumerate()
@@ -124,7 +124,7 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     }
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -158,7 +158,17 @@ pub fn generate_jobs<F: FnMut(ProgressEvent)>(
     jobs: usize,
     progress: F,
 ) -> Vec<NdtTest> {
-    Executor::new(jobs).run_with_progress(&campaign(cfg), progress)
+    generate_with(cfg, &Executor::new(jobs), progress)
+}
+
+/// [`generate`] on a caller-configured executor (worker count,
+/// per-scenario deadline, …).
+pub fn generate_with<F: FnMut(ProgressEvent)>(
+    cfg: &Dispute2014Config,
+    exec: &Executor,
+    progress: F,
+) -> Vec<NdtTest> {
+    exec.run_with_progress(&campaign(cfg), progress)
 }
 
 fn run_one<R: Rng>(scenario: &NdtScenario, seed: u64, rng: &mut R) -> NdtTest {
@@ -176,9 +186,7 @@ fn run_one<R: Rng>(scenario: &NdtScenario, seed: u64, rng: &mut R) -> NdtTest {
     let congested = affected && rng.gen::<f64>() < congestion_probability(hour);
 
     // Home-side variation: buffer depth and last-mile latency.
-    let access_buffer_ms = *[25u64, 45, 60, 100, 180]
-        .get(rng.gen_range(0..5))
-        .expect("indexed");
+    let access_buffer_ms = [25u64, 45, 60, 100, 180][rng.gen_range(0..5)];
     let access_latency_ms = rng.gen_range(5..=15);
 
     let congestion = congested.then(|| {

@@ -59,7 +59,10 @@ impl AccessIsp {
                 return mbps;
             }
         }
-        catalog.last().expect("non-empty").0
+        let Some(last) = catalog.last() else {
+            unreachable!("plan catalogs are non-empty")
+        };
+        last.0
     }
 
     /// Was this ISP's Cogent interconnect congested during the dispute?

@@ -175,7 +175,9 @@ pub fn run_ndt(path: &NdtPath) -> NdtMeasurement {
     sim.run_until(horizon);
 
     // Web100 from the server's connection (live or completed).
-    let server_agent: &TcpServerAgent = sim.agent(server).expect("server agent");
+    let Some(server_agent) = sim.agent::<TcpServerAgent>(server) else {
+        unreachable!("server added above as a TcpServerAgent")
+    };
     let stats = server_agent
         .connection(NDT_FLOW)
         .map(|c| c.stats.clone())
@@ -189,7 +191,9 @@ pub fn run_ndt(path: &NdtPath) -> NdtMeasurement {
         .unwrap_or_default();
     let web100 = Web100Log::from_stats(&stats);
 
-    let probe: &FlowProbe = sim.sink(probe).expect("probe tap");
+    let Some(probe) = sim.sink::<FlowProbe>(probe) else {
+        unreachable!("handle attached above holds a FlowProbe")
+    };
     let slow_start = probe.slow_start();
     let throughput = probe.throughput();
     let features = probe.features();

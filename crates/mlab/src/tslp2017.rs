@@ -188,11 +188,13 @@ fn run_probe_campaign(
     sim.set_event_budget(200_000_000);
     sim.run_until(horizon + SimDuration::from_secs(60));
 
-    let prober: &TslpProber = sim.agent(client).expect("prober");
-    (
-        prober.near().clone(),
-        prober.far().expect("two targets").clone(),
-    )
+    let Some(prober) = sim.agent::<TslpProber>(client) else {
+        unreachable!("client added above as a TslpProber")
+    };
+    let Some(far) = prober.far() else {
+        unreachable!("prober constructed with two targets")
+    };
+    (prober.near().clone(), far.clone())
 }
 
 /// The NDT test schedule in campaign time.
@@ -287,9 +289,19 @@ pub fn run_campaign_jobs<F: FnMut(ProgressEvent)>(
     jobs: usize,
     progress: F,
 ) -> Tslp2017Output {
+    run_campaign_with(cfg, &Executor::new(jobs), progress)
+}
+
+/// [`run_campaign`] on a caller-configured executor (worker count,
+/// per-scenario deadline, …).
+pub fn run_campaign_with<F: FnMut(ProgressEvent)>(
+    cfg: &Tslp2017Config,
+    exec: &Executor,
+    progress: F,
+) -> Tslp2017Output {
     let episodes = build_schedule(cfg);
     let (near, far) = run_probe_campaign(cfg, &episodes);
-    let tests = Executor::new(jobs).run_with_progress(&ndt_campaign(cfg, &episodes), progress);
+    let tests = exec.run_with_progress(&ndt_campaign(cfg, &episodes), progress);
 
     Tslp2017Output {
         near,

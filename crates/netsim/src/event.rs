@@ -3,6 +3,7 @@
 //! Ties are broken by insertion order (a monotonically increasing
 //! sequence number), which makes event processing fully deterministic.
 
+use crate::fault::FaultAction;
 use crate::ids::{LinkId, NodeId};
 use crate::link::LinkConfig;
 use crate::packet::Packet;
@@ -28,6 +29,8 @@ pub enum EventKind {
     LinkService(LinkId),
     /// Replace the link's parameters (time-varying path state).
     LinkReconfig(LinkId, LinkConfig),
+    /// A scheduled fault (down/up flap, rate or delay step) fires.
+    LinkFault(LinkId, FaultAction),
 }
 
 #[derive(Debug)]

@@ -40,10 +40,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod agent;
 pub mod capture;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod packet;
@@ -58,6 +60,10 @@ pub use capture::{
     Capture, CaptureHandle, Direction, NullSink, PacketRecord, PacketSink, SinkHandle,
 };
 pub use event::TimerToken;
+pub use fault::{
+    FaultAction, FaultEvent, FaultPlan, GilbertElliott, Impairment, ImpairmentRecord, LossModel,
+    ReorderSpec,
+};
 pub use ids::{FlowId, LinkId, NodeId, PacketId};
 pub use link::{BufferSize, Link, LinkConfig};
 pub use packet::{

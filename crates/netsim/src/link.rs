@@ -9,6 +9,7 @@
 //! after the propagation delay plus optional uniform jitter. I.i.d.
 //! random loss (netem-style) is applied at admission.
 
+use crate::fault::{FaultAction, FaultState, Impairment, ImpairmentRecord};
 use crate::ids::{LinkId, NodeId};
 use crate::packet::Packet;
 use crate::queue::{EnqueueResult, LinkQueue, QueueKind};
@@ -199,6 +200,8 @@ pub enum EnqueueOutcome {
     DroppedFull,
     /// Packet dropped by early detection (RED).
     DroppedEarly,
+    /// Packet dropped because the link is down (fault injection).
+    DroppedDown,
 }
 
 /// What the simulator should do after a `LinkService` event fires.
@@ -240,6 +243,10 @@ pub struct Link {
     last_arrival: SimTime,
     /// True while a `LinkService` event is in the event queue.
     service_pending: bool,
+    /// Attached fault plan state (impairments + dedicated RNG stream).
+    fault: Option<FaultState>,
+    /// True while a scheduled [`FaultAction::Down`] is in effect.
+    down: bool,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -267,8 +274,55 @@ impl Link {
             wire_free_at: SimTime::ZERO,
             last_arrival: SimTime::ZERO,
             service_pending: false,
+            fault: None,
+            down: false,
             stats: LinkStats::default(),
             cfg,
+        }
+    }
+
+    /// Attach a fault plan's runtime state. The plan's loss model (if
+    /// any) replaces the link's configured i.i.d. loss; scheduled
+    /// [`FaultAction`]s are delivered by the simulator's event queue.
+    pub fn attach_fault(&mut self, state: FaultState) {
+        self.fault = Some(state);
+    }
+
+    /// The attached fault state, if any.
+    pub fn fault(&self) -> Option<&FaultState> {
+        self.fault.as_ref()
+    }
+
+    /// The impairment decisions made so far (empty without a plan).
+    pub fn fault_log(&self) -> &[ImpairmentRecord] {
+        self.fault.as_ref().map(FaultState::log).unwrap_or(&[])
+    }
+
+    /// Whether the link is currently down due to a scheduled fault.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Apply a scheduled fault at time `now`. Down drops all offered
+    /// traffic and parks the backlog; Up re-enables the link (the
+    /// simulator re-arms service for any backlog); rate and delay steps
+    /// adjust the configuration in place — a rate step re-seeds the
+    /// token bucket (like [`Link::reconfigure`]) so the new rate takes
+    /// effect immediately, a delay step only affects packets departing
+    /// after `now`.
+    pub fn apply_fault_action(&mut self, now: SimTime, action: FaultAction) {
+        match action {
+            FaultAction::Down => self.down = true,
+            FaultAction::Up => self.down = false,
+            FaultAction::Rate(bps) => {
+                let mut cfg = self.cfg.clone();
+                cfg.rate_bps = bps.max(1);
+                cfg.phy_rate_bps = cfg.phy_rate_bps.max(cfg.rate_bps);
+                self.reconfigure(now, cfg);
+            }
+            FaultAction::Delay(d) => {
+                self.cfg.prop_delay = d;
+            }
         }
     }
 
@@ -336,13 +390,51 @@ impl Link {
     pub fn enqueue<R: Rng>(&mut self, pkt: Packet, now: SimTime, rng: &mut R) -> EnqueueOutcome {
         self.stats.offered_pkts += 1;
         self.stats.offered_bytes += pkt.size as u64;
-        if self.cfg.loss > 0.0 && rng.gen::<f64>() < self.cfg.loss {
+        if self.down {
+            self.stats.dropped_down += 1;
+            if let Some(f) = &mut self.fault {
+                f.record(now, pkt.id, Impairment::LostDown);
+            }
+            return EnqueueOutcome::DroppedDown;
+        }
+        // A fault plan's loss model replaces the configured i.i.d. loss.
+        let lost = match &mut self.fault {
+            Some(f) if f.overrides_loss() => f.roll_loss(),
+            _ => self.cfg.loss > 0.0 && rng.gen::<f64>() < self.cfg.loss,
+        };
+        if lost {
             self.stats.dropped_loss += 1;
+            if let Some(f) = &mut self.fault {
+                f.record(now, pkt.id, Impairment::Lost);
+            }
             return EnqueueOutcome::DroppedLoss;
         }
+        // Duplication decision is rolled per admitted packet so the
+        // fault stream's draw sequence is a pure function of the offered
+        // traffic; the copy is discarded if the original is dropped.
+        let dup = match &mut self.fault {
+            Some(f) => f.roll_duplicate().then(|| pkt.clone()),
+            None => None,
+        };
         match self.queue.enqueue(pkt, rng) {
             EnqueueResult::Queued => {
                 self.enqueue_times.push_back(now);
+                if let Some(copy) = dup {
+                    self.stats.offered_pkts += 1;
+                    self.stats.offered_bytes += copy.size as u64;
+                    let copy_id = copy.id;
+                    match self.queue.enqueue(copy, rng) {
+                        EnqueueResult::Queued => {
+                            self.enqueue_times.push_back(now);
+                            self.stats.duplicated += 1;
+                            if let Some(f) = &mut self.fault {
+                                f.record(now, copy_id, Impairment::Duplicated);
+                            }
+                        }
+                        EnqueueResult::DroppedFull => self.stats.dropped_full += 1,
+                        EnqueueResult::DroppedEarly => self.stats.dropped_early += 1,
+                    }
+                }
                 if self.service_pending {
                     EnqueueOutcome::Queued {
                         schedule_service: false,
@@ -372,6 +464,11 @@ impl Link {
     /// this method sets it again when it asks for another event.
     pub fn service<R: Rng>(&mut self, now: SimTime, rng: &mut R) -> ServiceOutcome {
         debug_assert!(!self.service_pending, "service fired while another pending");
+        if self.down {
+            // Backlog parks until a scheduled Up; the simulator re-arms
+            // service when the link comes back.
+            return ServiceOutcome::Idle;
+        }
         self.bucket.refill(now);
         let head = match self.queue.head_size() {
             Some(s) => s,
@@ -383,11 +480,12 @@ impl Link {
             return ServiceOutcome::Retry(at);
         }
         self.bucket.consume(head);
-        let pkt = self.queue.dequeue().expect("head existed");
-        let enq_at = self
-            .enqueue_times
-            .pop_front()
-            .expect("enqueue_times parallel to fifo");
+        let Some(pkt) = self.queue.dequeue() else {
+            unreachable!("head_size() returned Some, so the queue is non-empty")
+        };
+        let Some(enq_at) = self.enqueue_times.pop_front() else {
+            unreachable!("enqueue_times is parallel to the fifo")
+        };
         let queue_delay = now.saturating_since(enq_at);
         self.stats.record_delivery(pkt.size as u64, queue_delay);
 
@@ -404,11 +502,26 @@ impl Link {
             (self.cfg.prop_delay + SimDuration::from_nanos(off))
                 .saturating_sub(SimDuration::from_nanos(j))
         };
+        let reorder_extra = match &mut self.fault {
+            Some(f) => f.roll_reorder(),
+            None => None,
+        };
         let mut arrival = depart_done + prop;
-        if !self.cfg.allow_reorder && arrival <= self.last_arrival {
-            arrival = self.last_arrival + SimDuration::from_nanos(1);
+        if let Some(extra) = reorder_extra {
+            // Fault-injected reordering: hold the packet back past its
+            // nominal arrival and exempt it from the FIFO clamp (and
+            // from advancing it), so later departures overtake it.
+            arrival += extra;
+            self.stats.reordered += 1;
+            if let Some(f) = &mut self.fault {
+                f.record(now, pkt.id, Impairment::Reordered);
+            }
+        } else {
+            if !self.cfg.allow_reorder && arrival <= self.last_arrival {
+                arrival = self.last_arrival + SimDuration::from_nanos(1);
+            }
+            self.last_arrival = arrival;
         }
-        self.last_arrival = arrival;
 
         let next_service = if self.queue.is_empty() {
             None
@@ -654,6 +767,138 @@ mod tests {
             }
         }
         assert!(last > SimTime::ZERO);
+    }
+
+    use crate::fault::{FaultPlan, FaultState, GilbertElliott};
+    use crate::rng::stream_rng;
+
+    fn drain(l: &mut Link, rng: &mut StdRng, start: SimTime) -> Vec<(u64, SimTime)> {
+        l.clear_service_pending();
+        let mut now = start;
+        let mut out = vec![];
+        loop {
+            match l.service(now, rng) {
+                ServiceOutcome::Deliver {
+                    pkt,
+                    arrival,
+                    next_service,
+                } => {
+                    out.push((pkt.id.0, arrival));
+                    match next_service {
+                        Some(t) => {
+                            l.clear_service_pending();
+                            now = t;
+                        }
+                        None => break,
+                    }
+                }
+                ServiceOutcome::Retry(at) => {
+                    l.clear_service_pending();
+                    now = at;
+                }
+                ServiceOutcome::Idle => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fault_reorder_delivers_out_of_order() {
+        let cfg = LinkConfig::new(100_000_000, SimDuration::from_millis(1));
+        let mut l = link(cfg);
+        let plan = FaultPlan::new().reorder(0.2, SimDuration::from_millis(10));
+        l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..100 {
+            l.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
+        }
+        let arrivals = drain(&mut l, &mut rng, SimTime::ZERO);
+        assert_eq!(arrivals.len(), 100);
+        assert!(l.stats.reordered > 0);
+        // At least one packet arrives after a higher-id packet.
+        let out_of_order = arrivals
+            .windows(2)
+            .any(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1);
+        assert!(out_of_order, "no reordering observed");
+        assert_eq!(l.stats.reordered as usize, l.fault_log().len());
+    }
+
+    #[test]
+    fn fault_down_drops_and_up_recovers() {
+        let cfg = LinkConfig::new(100_000_000, SimDuration::ZERO);
+        let mut l = link(cfg);
+        l.attach_fault(FaultState::new(FaultPlan::new(), stream_rng(3, 0)));
+        let mut rng = StdRng::seed_from_u64(1);
+        l.apply_fault_action(SimTime::ZERO, FaultAction::Down);
+        assert!(l.is_down());
+        assert_eq!(
+            l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng),
+            EnqueueOutcome::DroppedDown
+        );
+        assert_eq!(l.stats.dropped_down, 1);
+        assert!(matches!(
+            l.service(SimTime::ZERO, &mut rng),
+            ServiceOutcome::Idle
+        ));
+        l.apply_fault_action(SimTime::from_millis(1), FaultAction::Up);
+        assert!(!l.is_down());
+        assert!(matches!(
+            l.enqueue(pkt(2, 1500), SimTime::from_millis(1), &mut rng),
+            EnqueueOutcome::Queued { .. }
+        ));
+        let arrivals = drain(&mut l, &mut rng, SimTime::from_millis(1));
+        assert_eq!(arrivals.len(), 1);
+    }
+
+    #[test]
+    fn fault_duplication_admits_extra_copies() {
+        let cfg = LinkConfig::new(1_000_000_000, SimDuration::ZERO).buffer_bytes(10_000_000);
+        let mut l = link(cfg);
+        let plan = FaultPlan::new().duplicate(0.25);
+        l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..1000 {
+            l.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng);
+        }
+        let frac = l.stats.duplicated as f64 / 1000.0;
+        assert!((0.2..0.3).contains(&frac), "duplication fraction {frac}");
+        assert_eq!(
+            l.queued_bytes(),
+            (1000 + l.stats.duplicated) * 100,
+            "copies occupy the buffer"
+        );
+    }
+
+    #[test]
+    fn fault_ge_loss_replaces_configured_loss() {
+        // Configured loss 0 but GE plan drops ~10%.
+        let cfg = LinkConfig::new(1_000_000_000, SimDuration::ZERO).buffer_bytes(10_000_000);
+        let mut l = link(cfg);
+        let plan = FaultPlan::new().gilbert_elliott(GilbertElliott::bursty(5.0, 0.1));
+        l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dropped = 0u64;
+        for i in 0..20_000 {
+            if l.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng) == EnqueueOutcome::DroppedLoss {
+                dropped += 1;
+            }
+        }
+        let frac = dropped as f64 / 20_000.0;
+        assert!((0.08..0.12).contains(&frac), "GE loss fraction {frac}");
+        assert_eq!(l.stats.dropped_loss, dropped);
+    }
+
+    #[test]
+    fn fault_rate_step_changes_drain_speed() {
+        let cfg = LinkConfig::new(100_000_000, SimDuration::ZERO).burst(1500);
+        let mut l = link(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        l.apply_fault_action(SimTime::ZERO, FaultAction::Rate(1_000_000));
+        assert_eq!(l.config().rate_bps, 1_000_000);
+        l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
+        let arrivals = drain(&mut l, &mut rng, SimTime::ZERO);
+        // Bucket re-seeded empty at 1 Mbps: 1500 B needs ~12 ms of credit.
+        assert!(arrivals[0].1 >= SimTime::from_millis(11), "{:?}", arrivals);
     }
 
     #[test]

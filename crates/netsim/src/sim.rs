@@ -21,6 +21,7 @@ use crate::capture::{
     Capture, CaptureHandle, Direction, NullSink, PacketRecord, PacketSink, SinkHandle,
 };
 use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::fault::{FaultPlan, FaultState, ImpairmentRecord};
 use crate::ids::{LinkId, NodeId, PacketId};
 use crate::link::{EnqueueOutcome, Link, LinkConfig, ServiceOutcome};
 use crate::packet::{Packet, PacketSpec};
@@ -290,8 +291,10 @@ impl Simulator {
     /// # Panics
     /// Panics if the handle's tap does not hold a [`Capture`] sink.
     pub fn capture(&self, h: CaptureHandle) -> &Capture {
-        self.sink::<Capture>(SinkHandle(h.0))
-            .expect("handle is not a capture tap")
+        match self.sink::<Capture>(SinkHandle(h.0)) {
+            Some(c) => c,
+            None => panic!("handle is not a capture tap"),
+        }
     }
 
     /// Remove and return a capture (e.g. to hand to trace analysis).
@@ -299,11 +302,10 @@ impl Simulator {
     /// # Panics
     /// Panics if the handle's tap does not hold a [`Capture`] sink.
     pub fn take_capture(&mut self, h: CaptureHandle) -> Capture {
-        let cap = std::mem::replace(
-            self.sink_mut::<Capture>(SinkHandle(h.0))
-                .expect("handle is not a capture tap"),
-            Capture::new(NodeId(u32::MAX)),
-        );
+        let Some(sink) = self.sink_mut::<Capture>(SinkHandle(h.0)) else {
+            panic!("handle is not a capture tap")
+        };
+        let cap = std::mem::replace(sink, Capture::new(NodeId(u32::MAX)));
         self.taps[h.0].node = NodeId(u32::MAX);
         cap
     }
@@ -357,7 +359,9 @@ impl Simulator {
                 }
                 Some(_) => {}
             }
-            let ev = self.events.pop().expect("peeked");
+            let Some(ev) = self.events.pop() else {
+                unreachable!("peek_time just returned Some")
+            };
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             self.events_processed += 1;
@@ -409,13 +413,15 @@ impl Simulator {
             EventKind::LinkReconfig(link, cfg) => {
                 let now = self.now;
                 self.links[link.index()].reconfigure(now, cfg);
-                // Wake the link in case the new rate can serve the
-                // backlog sooner (or at all).
-                if !self.links[link.index()].service_pending()
-                    && self.links[link.index()].queued_bytes() > 0
-                {
-                    self.links[link.index()].force_service_pending();
-                    self.events.push(now, EventKind::LinkService(link));
+                self.wake_link(link, now);
+            }
+            EventKind::LinkFault(link, action) => {
+                let now = self.now;
+                self.links[link.index()].apply_fault_action(now, action);
+                // An Up (or rate step) may make a parked backlog
+                // serviceable again.
+                if !self.links[link.index()].is_down() {
+                    self.wake_link(link, now);
                 }
             }
         }
@@ -507,7 +513,18 @@ impl Simulator {
             // Drops are counted in link stats; nothing further to do.
             EnqueueOutcome::DroppedLoss
             | EnqueueOutcome::DroppedFull
-            | EnqueueOutcome::DroppedEarly => {}
+            | EnqueueOutcome::DroppedEarly
+            | EnqueueOutcome::DroppedDown => {}
+        }
+    }
+
+    /// Re-arm service for a link whose backlog may have become
+    /// serviceable (after a reconfiguration or fault action).
+    fn wake_link(&mut self, link: LinkId, now: SimTime) {
+        let l = &mut self.links[link.index()];
+        if !l.service_pending() && l.queued_bytes() > 0 {
+            l.force_service_pending();
+            self.events.push(now, EventKind::LinkService(link));
         }
     }
 
@@ -530,10 +547,15 @@ impl Simulator {
     fn agent_callback(&mut self, node: NodeId, call: AgentCall) {
         // Take the agent out so we can hand `self`-derived context in.
         let (mut agent, mut rng) = match &mut self.nodes[node.index()] {
-            NodeSlot::Host { agent, rng } => (
-                agent.take().expect("agent re-entrancy"),
-                std::mem::replace(rng, StdRng::from_rng_placeholder()),
-            ),
+            NodeSlot::Host { agent, rng } => {
+                let Some(agent) = agent.take() else {
+                    unreachable!("agent call re-entered while the agent was checked out")
+                };
+                (
+                    agent,
+                    std::mem::replace(rng, StdRng::from_rng_placeholder()),
+                )
+            }
             NodeSlot::Router => return,
         };
         let mut cmds = std::mem::take(&mut self.cmd_buf);
@@ -609,6 +631,28 @@ impl Simulator {
         assert!(link.index() < self.links.len(), "unknown link");
         self.events.push(at, EventKind::LinkReconfig(link, cfg));
     }
+
+    /// Attach a fault plan to a link: its loss model replaces the link's
+    /// i.i.d. loss, reorder/duplication impairments activate, and every
+    /// scheduled [`crate::fault::FaultEvent`] is queued. Impairment
+    /// decisions draw from a dedicated per-link stream of the master
+    /// seed (`0x4000_0000 + link id`), so the sequence is reproducible
+    /// regardless of other configuration and of how many scenarios run
+    /// in parallel.
+    pub fn attach_fault_plan(&mut self, link: LinkId, plan: FaultPlan) {
+        assert!(link.index() < self.links.len(), "unknown link");
+        for ev in &plan.events {
+            self.events
+                .push(ev.at, EventKind::LinkFault(link, ev.action));
+        }
+        let rng = stream_rng(self.seed, 0x4000_0000 + link.0 as u64);
+        self.links[link.index()].attach_fault(FaultState::new(plan, rng));
+    }
+
+    /// The impairment log of a link (empty without an attached plan).
+    pub fn fault_log(&self, link: LinkId) -> &[ImpairmentRecord] {
+        self.links[link.index()].fault_log()
+    }
 }
 
 /// Helper: replace-placeholder RNG used while an agent callback runs.
@@ -633,6 +677,7 @@ enum AgentCall {
 mod tests {
     use super::*;
     use crate::agent::SinkAgent;
+    use crate::fault::GilbertElliott;
     use crate::ids::FlowId;
     use crate::packet::{PacketKind, PacketSpec};
 
@@ -743,6 +788,73 @@ mod tests {
         s2.run();
         assert_eq!(s1.capture(c1).records, s2.capture(c2).records);
         assert_eq!(s1.events_processed(), s2.events_processed());
+    }
+
+    #[test]
+    fn fault_plan_flap_drops_midstream_then_recovers() {
+        // 20 packets, one per ms; link down during [4 ms, 8 ms).
+        let mut sim = Simulator::new(7);
+        let a = sim.add_host(Box::new(Blaster::new(
+            NodeId(1),
+            20,
+            1000,
+            SimDuration::from_millis(1),
+        )));
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let (ab, _) = sim.add_duplex_link(
+            a,
+            b,
+            LinkConfig::new(100_000_000, SimDuration::from_micros(100)),
+        );
+        sim.compute_routes();
+        sim.attach_fault_plan(
+            ab,
+            FaultPlan::new().down_between(SimTime::from_millis(4), SimTime::from_millis(8)),
+        );
+        assert_eq!(sim.run(), StopReason::Drained);
+        let sink: &SinkAgent = sim.agent(b).unwrap();
+        // Packets sent at t = 4..8 ms (4 of them) died at the down link.
+        assert_eq!(sim.link_stats(ab).dropped_down, 4);
+        assert_eq!(sink.packets, 16);
+        assert_eq!(
+            sim.fault_log(ab).len(),
+            4,
+            "each down-drop logged: {:?}",
+            sim.fault_log(ab)
+        );
+    }
+
+    #[test]
+    fn fault_plan_impairments_reproducible_from_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_host(Box::new(Blaster::new(
+                NodeId(1),
+                200,
+                1000,
+                SimDuration::from_micros(200),
+            )));
+            let b = sim.add_host(Box::new(SinkAgent::default()));
+            let (ab, _) = sim.add_duplex_link(
+                a,
+                b,
+                LinkConfig::new(20_000_000, SimDuration::from_millis(2)),
+            );
+            sim.compute_routes();
+            sim.attach_fault_plan(
+                ab,
+                FaultPlan::new()
+                    .gilbert_elliott(GilbertElliott::bursty(6.0, 0.05))
+                    .reorder(0.05, SimDuration::from_millis(4))
+                    .duplicate(0.02),
+            );
+            sim.run();
+            sim.fault_log(ab).to_vec()
+        };
+        let log = run(1234);
+        assert!(!log.is_empty(), "impairments occurred");
+        assert_eq!(log, run(1234), "same seed, same impairment sequence");
+        assert_ne!(log, run(5678), "different seed diverges");
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct LinkStats {
     pub dropped_full: u64,
     /// Packets dropped by early detection (RED).
     pub dropped_early: u64,
+    /// Packets dropped because the link was down (fault injection).
+    pub dropped_down: u64,
+    /// Packets duplicated by fault injection (extra copies admitted).
+    pub duplicated: u64,
+    /// Packets deliberately delivered out of order by fault injection.
+    pub reordered: u64,
     /// Sum of per-packet queueing delay (enqueue → departure).
     pub total_queue_delay: SimDuration,
 }
@@ -34,7 +40,7 @@ impl LinkStats {
 
     /// All drops regardless of cause.
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_loss + self.dropped_full + self.dropped_early
+        self.dropped_loss + self.dropped_full + self.dropped_early + self.dropped_down
     }
 
     /// Mean queueing delay of delivered packets.

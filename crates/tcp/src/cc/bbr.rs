@@ -83,7 +83,9 @@ impl BbrLite {
     }
 
     fn end_round(&mut self, now: SimTime) {
-        let start = self.round_start.expect("round in progress");
+        let Some(start) = self.round_start else {
+            unreachable!("end_round called with no round in progress")
+        };
         let dur = now.saturating_since(start).as_secs_f64();
         if dur > 0.0 && self.round_delivered > 0 {
             let bw = self.round_delivered as f64 / dur;

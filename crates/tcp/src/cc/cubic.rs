@@ -83,10 +83,10 @@ impl CongestionControl for Cubic {
         if self.epoch_start.is_none() {
             self.enter_epoch(info.now);
         }
-        let t = info
-            .now
-            .saturating_since(self.epoch_start.expect("set above"))
-            .as_secs_f64();
+        let Some(epoch_start) = self.epoch_start else {
+            unreachable!("epoch entered above")
+        };
+        let t = info.now.saturating_since(epoch_start).as_secs_f64();
         let target = C * (t - self.k).powi(3) + self.w_max;
         let w = self.cwnd_mss();
         // TCP-friendly Reno estimate: grows ~1 MSS per RTT.

@@ -562,7 +562,9 @@ impl TcpConnection {
                 .map(|(&s, _)| s)
                 .collect();
             for s in covered {
-                let meta = self.segs.remove(&s).expect("listed");
+                let Some(meta) = self.segs.remove(&s) else {
+                    unreachable!("key was just listed from this map")
+                };
                 if meta.sacked {
                     self.sacked_bytes -= meta.seq_len as u64;
                 }
@@ -725,7 +727,9 @@ impl TcpConnection {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
-            let e = self.ooo.remove(&s).expect("listed");
+            let Some(e) = self.ooo.remove(&s) else {
+                unreachable!("key was just listed from this map")
+            };
             new_start = new_start.min(s);
             new_end = new_end.max(e);
         }

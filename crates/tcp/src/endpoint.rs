@@ -56,7 +56,7 @@ impl ServerSendPolicy {
                         return Some(*size);
                     }
                 }
-                Some(items.last().expect("non-empty").0)
+                items.last().map(|last| last.0)
             }
         }
     }
@@ -104,7 +104,9 @@ impl TcpServerAgent {
     fn reap(&mut self, flow: FlowId) {
         if let Some(slot) = self.conns.get(&flow) {
             if slot.conn.is_done() {
-                let slot = self.conns.remove(&flow).expect("checked");
+                let Some(slot) = self.conns.remove(&flow) else {
+                    unreachable!("presence checked above")
+                };
                 if self.keep_completed {
                     self.completed.push((flow, slot.conn.stats));
                 }
@@ -149,7 +151,9 @@ impl Agent for TcpServerAgent {
                 },
             );
         }
-        let slot = self.conns.get_mut(&flow).expect("inserted");
+        let Some(slot) = self.conns.get_mut(&flow) else {
+            unreachable!("inserted above when absent")
+        };
         slot.conn.on_segment(ctx, &hdr);
         if slot.conn.is_established() && !slot.app_started {
             slot.app_started = true;
@@ -314,7 +318,9 @@ impl TcpClientAgent {
         if !done {
             return;
         }
-        let conn = self.conn.take().expect("checked");
+        let Some(conn) = self.conn.take() else {
+            unreachable!("presence checked above")
+        };
         let bytes = conn.bytes_received();
         self.total_bytes += bytes;
         if let Some(rec) = self.fetches.last_mut() {

@@ -78,7 +78,9 @@ impl RttEstimator {
             }
         }
         self.backoff = 0;
-        let srtt = self.srtt.expect("set above");
+        let Some(srtt) = self.srtt else {
+            unreachable!("srtt set above on first sample")
+        };
         let granularity = SimDuration::from_millis(1);
         self.rto = (srtt + (self.rttvar * 4).max(granularity)).clamp(self.min_rto, self.max_rto);
     }

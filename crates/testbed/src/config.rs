@@ -1,7 +1,7 @@
 //! Testbed experiment configuration: the knobs of §3.1 of the paper
 //! plus a fidelity profile for affordable sweeps.
 
-use csig_netsim::{QueueKind, SimDuration};
+use csig_netsim::{FaultPlan, QueueKind, SimDuration};
 use csig_tcp::TcpConfig;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +95,10 @@ pub struct TestbedConfig {
     pub cross_tcp: Option<TcpConfig>,
     /// Queue discipline of the access-link buffer.
     pub queue: QueueKind,
+    /// Deterministic impairments on the downstream access link: bursty
+    /// loss, reordering, duplication and mid-test link events (see
+    /// [`FaultPlan`]). `None` (the default) leaves the link clean.
+    pub access_fault: Option<FaultPlan>,
     /// Master simulation seed.
     pub seed: u64,
 }
@@ -118,6 +122,7 @@ impl TestbedConfig {
             },
             cross_tcp: None,
             queue: QueueKind::DropTail,
+            access_fault: None,
             seed,
         }
     }
@@ -141,6 +146,13 @@ impl TestbedConfig {
     /// Builder: set the congestion scenario.
     pub fn with_congestion(mut self, mode: CongestionMode) -> Self {
         self.congestion = mode;
+        self
+    }
+
+    /// Builder: impair the downstream access link with a fault plan
+    /// (no-op plans are dropped so clean runs stay byte-identical).
+    pub fn with_access_fault(mut self, plan: FaultPlan) -> Self {
+        self.access_fault = (!plan.is_empty()).then_some(plan);
         self
     }
 

@@ -157,7 +157,17 @@ impl Sweep {
     /// Run the sweep on `jobs` workers (`0` = one per core). Results
     /// are byte-identical to [`Sweep::run`] for any worker count.
     pub fn run_jobs<F: FnMut(ProgressEvent)>(&self, jobs: usize, progress: F) -> Vec<TestResult> {
-        Executor::new(jobs).run_with_progress(&self.campaign(), progress)
+        self.run_with(&Executor::new(jobs), progress)
+    }
+
+    /// Run the sweep on a caller-configured executor (worker count,
+    /// per-scenario deadline, …).
+    pub fn run_with<F: FnMut(ProgressEvent)>(
+        &self,
+        exec: &Executor,
+        progress: F,
+    ) -> Vec<TestResult> {
+        exec.run_with_progress(&self.campaign(), progress)
     }
 }
 

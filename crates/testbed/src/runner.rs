@@ -69,7 +69,9 @@ pub fn run_test(cfg: &TestbedConfig) -> TestResult {
         .agent::<TcpServerAgent>(tb.server1)
         .and_then(|s| s.connection(TEST_FLOW).map(|c| c.stats.clone()));
 
-    let probe: &FlowProbe = tb.sim.sink(probe).expect("probe tap");
+    let Some(probe) = tb.sim.sink::<FlowProbe>(probe) else {
+        unreachable!("handle attached above holds a FlowProbe")
+    };
     let slow_start = probe.slow_start();
     let throughput = probe.throughput();
     let features = probe.features();

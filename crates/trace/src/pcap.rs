@@ -191,11 +191,11 @@ impl std::error::Error for PcapError {}
 pub fn read_pcap<R: Read>(mut r: R, tap: NodeId) -> Result<Capture, PcapError> {
     let mut global = [0u8; 24];
     r.read_exact(&mut global)?;
-    let magic = u32::from_le_bytes(global[0..4].try_into().expect("sized"));
+    let magic = crate::pcap_import::le_u32(&global, 0);
     if magic != PCAP_MAGIC_NANO {
         return Err(PcapError::Format("unsupported magic (need nanosecond LE)"));
     }
-    let linktype = u32::from_le_bytes(global[20..24].try_into().expect("sized"));
+    let linktype = crate::pcap_import::le_u32(&global, 20);
     if linktype != LINKTYPE_RAW {
         return Err(PcapError::Format("unsupported linktype (need RAW=101)"));
     }
@@ -209,10 +209,10 @@ pub fn read_pcap<R: Read>(mut r: R, tap: NodeId) -> Result<Capture, PcapError> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e.into()),
         }
-        let ts_sec = u32::from_le_bytes(pkt_hdr[0..4].try_into().expect("sized")) as u64;
-        let ts_nsec = u32::from_le_bytes(pkt_hdr[4..8].try_into().expect("sized")) as u64;
-        let incl = u32::from_le_bytes(pkt_hdr[8..12].try_into().expect("sized")) as usize;
-        let orig = u32::from_le_bytes(pkt_hdr[12..16].try_into().expect("sized"));
+        let ts_sec = crate::pcap_import::le_u32(&pkt_hdr, 0) as u64;
+        let ts_nsec = crate::pcap_import::le_u32(&pkt_hdr, 4) as u64;
+        let incl = crate::pcap_import::le_u32(&pkt_hdr, 8) as usize;
+        let orig = crate::pcap_import::le_u32(&pkt_hdr, 12);
         let mut data = vec![0u8; incl];
         r.read_exact(&mut data)?;
         if data.len() < 40 || data[0] >> 4 != 4 {
@@ -222,16 +222,16 @@ pub fn read_pcap<R: Read>(mut r: R, tap: NodeId) -> Result<Capture, PcapError> {
         if data[9] != 6 || data.len() < ihl + 20 {
             continue;
         }
-        let src_ip: [u8; 4] = data[12..16].try_into().expect("sized");
-        let dst_ip: [u8; 4] = data[16..20].try_into().expect("sized");
+        let src_ip = crate::pcap_import::ip4(&data, 12);
+        let dst_ip = crate::pcap_import::ip4(&data, 16);
         let tcp = &data[ihl..];
-        let sport = u16::from_be_bytes(tcp[0..2].try_into().expect("sized"));
-        let dport = u16::from_be_bytes(tcp[2..4].try_into().expect("sized"));
-        let seq = u32::from_be_bytes(tcp[4..8].try_into().expect("sized"));
-        let ack = u32::from_be_bytes(tcp[8..12].try_into().expect("sized"));
+        let sport = crate::pcap_import::be_u16(tcp, 0);
+        let dport = crate::pcap_import::be_u16(tcp, 2);
+        let seq = crate::pcap_import::be_u32(tcp, 4);
+        let ack = crate::pcap_import::be_u32(tcp, 8);
         let doff = ((tcp[12] >> 4) as usize) * 4;
         let fbyte = tcp[13];
-        let window = u16::from_be_bytes(tcp[14..16].try_into().expect("sized")) as u32;
+        let window = crate::pcap_import::be_u16(tcp, 14) as u32;
 
         let mut flags = TcpFlags::default();
         if fbyte & 0x01 != 0 {
@@ -255,21 +255,27 @@ pub fn read_pcap<R: Read>(mut r: R, tap: NodeId) -> Result<Capture, PcapError> {
                 match opts[0] {
                     0 => break,
                     1 => opts = &opts[1..],
-                    5 => {
-                        let len = opts[1] as usize;
-                        let nblocks = ((len - 2) / 8).min(3);
-                        for (i, slot) in sack.iter_mut().enumerate().take(nblocks) {
-                            let o = 2 + i * 8;
-                            let s = u32::from_be_bytes(opts[o..o + 4].try_into().expect("sized"));
-                            let e =
-                                u32::from_be_bytes(opts[o + 4..o + 8].try_into().expect("sized"));
-                            *slot = Some((s, e));
+                    kind => {
+                        let Some(&l) = opts.get(1) else {
+                            return Err(PcapError::Format("TCP option missing its length byte"));
+                        };
+                        let len = l as usize;
+                        if len < 2 || len > opts.len() {
+                            return Err(PcapError::Format(
+                                "TCP option with invalid declared length",
+                            ));
                         }
-                        opts = &opts[len.min(opts.len())..];
-                    }
-                    _ => {
-                        let len = (*opts.get(1).unwrap_or(&0) as usize).max(2);
-                        opts = &opts[len.min(opts.len())..];
+                        if kind == 5 {
+                            let nblocks = ((len - 2) / 8).min(3);
+                            for (i, slot) in sack.iter_mut().enumerate().take(nblocks) {
+                                let o = 2 + i * 8;
+                                *slot = Some((
+                                    crate::pcap_import::be_u32(opts, o),
+                                    crate::pcap_import::be_u32(opts, o + 4),
+                                ));
+                            }
+                        }
+                        opts = &opts[len..];
                     }
                 }
             }

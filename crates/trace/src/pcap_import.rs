@@ -8,6 +8,13 @@
 //! converted into a server-side [`Capture`]: the "server" endpoint is
 //! either given explicitly (by port) or inferred as the endpoint that
 //! sent the most payload bytes.
+//!
+//! Malformed TCP packets are rejected with [`ImportError::Format`]
+//! rather than silently repaired: an option with a declared length of 0
+//! or 1, an option whose length points past the header, a missing
+//! option length byte, and a data offset beyond the captured bytes are
+//! all fatal, because the rest of the header cannot be delimited
+//! trustworthily. Non-TCP and non-IPv4 frames are still skipped.
 
 use csig_netsim::{
     Capture, Direction, FlowId, NodeId, Packet, PacketId, PacketKind, SackBlocks, SimTime,
@@ -75,18 +82,38 @@ impl std::fmt::Display for ImportError {
 
 impl std::error::Error for ImportError {}
 
+// Fixed-width reads at a caller-bounds-checked offset. Plain indexing
+// keeps these panic-free for every call site (each is preceded by a
+// length check) without `expect` on an infallible `try_into`. Shared
+// with the round-trip reader in [`crate::pcap`].
+pub(crate) fn le_u32(b: &[u8], o: usize) -> u32 {
+    u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
+}
+
+pub(crate) fn be_u16(b: &[u8], o: usize) -> u16 {
+    u16::from_be_bytes([b[o], b[o + 1]])
+}
+
+pub(crate) fn be_u32(b: &[u8], o: usize) -> u32 {
+    u32::from_be_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
+}
+
+pub(crate) fn ip4(b: &[u8], o: usize) -> [u8; 4] {
+    [b[o], b[o + 1], b[o + 2], b[o + 3]]
+}
+
 /// Parse every IPv4/TCP packet out of a pcap stream; non-TCP packets
 /// are skipped silently.
 pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportError> {
     let mut global = [0u8; 24];
     r.read_exact(&mut global)?;
-    let magic = u32::from_le_bytes(global[0..4].try_into().expect("sized"));
+    let magic = le_u32(&global, 0);
     let nanos_per_frac = match magic {
         MAGIC_MICRO => 1_000u64,
         MAGIC_NANO => 1,
         _ => return Err(ImportError::Format("unsupported magic (need LE pcap)")),
     };
-    let linktype = u32::from_le_bytes(global[20..24].try_into().expect("sized"));
+    let linktype = le_u32(&global, 20);
     let l2_skip = match linktype {
         LINKTYPE_RAW => 0usize,
         LINKTYPE_ETHERNET => 14,
@@ -106,10 +133,10 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e.into()),
         }
-        let ts_sec = u32::from_le_bytes(hdr[0..4].try_into().expect("sized")) as u64;
-        let ts_frac = u32::from_le_bytes(hdr[4..8].try_into().expect("sized")) as u64;
-        let incl = u32::from_le_bytes(hdr[8..12].try_into().expect("sized")) as usize;
-        let orig = u32::from_le_bytes(hdr[12..16].try_into().expect("sized"));
+        let ts_sec = le_u32(&hdr, 0) as u64;
+        let ts_frac = le_u32(&hdr, 4) as u64;
+        let incl = le_u32(&hdr, 8) as usize;
+        let orig = le_u32(&hdr, 12);
         if incl > 256 * 1024 {
             return Err(ImportError::Format("implausible packet length"));
         }
@@ -138,9 +165,9 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
         if ip[9] != 6 || ip.len() < ihl + 20 {
             continue;
         }
-        let ip_total = u16::from_be_bytes(ip[2..4].try_into().expect("sized")) as u32;
-        let src_ip: [u8; 4] = ip[12..16].try_into().expect("sized");
-        let dst_ip: [u8; 4] = ip[16..20].try_into().expect("sized");
+        let ip_total = be_u16(ip, 2) as u32;
+        let src_ip = ip4(ip, 12);
+        let dst_ip = ip4(ip, 16);
         let tcp = &ip[ihl..];
         let doff = ((tcp[12] >> 4) as usize) * 4;
         if doff < 20 || tcp.len() < 20 {
@@ -160,34 +187,47 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
         if fbyte & 0x10 != 0 {
             flags = flags | TcpFlags::ACK;
         }
+        if tcp.len() < doff {
+            return Err(ImportError::Format("TCP header overruns captured frame"));
+        }
         let mut sack = NO_SACK;
-        if doff > 20 && tcp.len() >= doff {
+        {
             let mut opts = &tcp[20..doff];
             while !opts.is_empty() {
-                match opts[0] {
+                let kind = opts[0];
+                match kind {
                     0 => break,
-                    1 => opts = &opts[1..],
-                    5 if opts.len() >= 2 => {
-                        let len = (opts[1] as usize).clamp(2, opts.len());
-                        let nblocks = ((len - 2) / 8).min(3);
-                        for (i, slot) in sack.iter_mut().enumerate().take(nblocks) {
-                            let o = 2 + i * 8;
-                            if o + 8 <= len {
-                                let s =
-                                    u32::from_be_bytes(opts[o..o + 4].try_into().expect("sized"));
-                                let e = u32::from_be_bytes(
-                                    opts[o + 4..o + 8].try_into().expect("sized"),
-                                );
-                                *slot = Some((s, e));
-                            }
-                        }
-                        opts = &opts[len..];
+                    1 => {
+                        opts = &opts[1..];
+                        continue;
                     }
-                    _ => {
-                        let len = (*opts.get(1).unwrap_or(&0) as usize).max(2);
-                        opts = &opts[len.min(opts.len())..];
+                    _ => {}
+                }
+                // Every other option carries a length byte covering the
+                // whole option. A declared length of 0 or 1 (or one
+                // pointing past the header) is not recoverable — the
+                // rest of the option area cannot be delimited — so the
+                // packet is rejected rather than silently mis-parsed.
+                let Some(&l) = opts.get(1) else {
+                    return Err(ImportError::Format("TCP option missing its length byte"));
+                };
+                let len = l as usize;
+                if len < 2 {
+                    return Err(ImportError::Format("TCP option with declared length < 2"));
+                }
+                if len > opts.len() {
+                    return Err(ImportError::Format("TCP option overruns the header"));
+                }
+                if kind == 5 {
+                    let nblocks = ((len - 2) / 8).min(3);
+                    for (i, slot) in sack.iter_mut().enumerate().take(nblocks) {
+                        let o = 2 + i * 8;
+                        if o + 8 <= len {
+                            *slot = Some((be_u32(opts, o), be_u32(opts, o + 4)));
+                        }
                     }
                 }
+                opts = &opts[len..];
             }
         }
         // Payload from the IP total length; if zero/implausible (TSO
@@ -201,13 +241,13 @@ pub fn parse_pcap_tcp<R: Read>(mut r: R) -> Result<Vec<RawTcpPacket>, ImportErro
             time,
             src_ip,
             dst_ip,
-            sport: u16::from_be_bytes(tcp[0..2].try_into().expect("sized")),
-            dport: u16::from_be_bytes(tcp[2..4].try_into().expect("sized")),
-            seq: u32::from_be_bytes(tcp[4..8].try_into().expect("sized")),
-            ack: u32::from_be_bytes(tcp[8..12].try_into().expect("sized")),
+            sport: be_u16(tcp, 0),
+            dport: be_u16(tcp, 2),
+            seq: be_u32(tcp, 4),
+            ack: be_u32(tcp, 8),
             flags,
             payload_len,
-            window: u16::from_be_bytes(tcp[14..16].try_into().expect("sized")) as u32,
+            window: be_u16(tcp, 14) as u32,
             sack,
         });
     }
@@ -445,6 +485,87 @@ mod tests {
         assert_eq!(packets.len(), 1);
         assert_eq!(packets[0].seq, 5);
         assert_eq!(packets[0].payload_len, 100);
+    }
+
+    /// A nanosecond/RAW pcap holding one TCP packet whose option area
+    /// is exactly `opts` (must be padded to a multiple of 4 bytes).
+    fn pcap_with_options(opts: &[u8]) -> Vec<u8> {
+        assert!(opts.len().is_multiple_of(4));
+        let doff = 20 + opts.len();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NANO.to_le_bytes());
+        buf.extend_from_slice(&[2, 0, 4, 0]);
+        buf.extend_from_slice(&[0u8; 12]);
+        buf.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+
+        let mut frame = Vec::new();
+        frame.push(0x45);
+        frame.push(0);
+        frame.extend_from_slice(&((20 + doff) as u16).to_be_bytes());
+        frame.extend_from_slice(&[0, 0, 0x40, 0, 64, 6, 0, 0]);
+        frame.extend_from_slice(&[10, 0, 0, 1]);
+        frame.extend_from_slice(&[10, 0, 0, 2]);
+        frame.extend_from_slice(&5001u16.to_be_bytes());
+        frame.extend_from_slice(&40_000u16.to_be_bytes());
+        frame.extend_from_slice(&1000u32.to_be_bytes());
+        frame.extend_from_slice(&1u32.to_be_bytes());
+        frame.push(((doff / 4) as u8) << 4);
+        frame.push(0x10);
+        frame.extend_from_slice(&65535u16.to_be_bytes());
+        frame.extend_from_slice(&[0, 0, 0, 0]);
+        frame.extend_from_slice(opts);
+
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&frame);
+        buf
+    }
+
+    #[test]
+    fn decodes_valid_sack_blocks() {
+        // NOP, NOP, SACK(len 10) with one block [7, 19].
+        let mut opts = vec![1, 1, 5, 10];
+        opts.extend_from_slice(&7u32.to_be_bytes());
+        opts.extend_from_slice(&19u32.to_be_bytes());
+        let packets = parse_pcap_tcp(&pcap_with_options(&opts)[..]).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].sack[0], Some((7, 19)));
+        assert_eq!(packets[0].sack[1], None);
+    }
+
+    #[test]
+    fn rejects_zero_and_one_length_tcp_options() {
+        // A declared option length of 0 or 1 cannot delimit the rest of
+        // the option area; the old importer clamped it to 2 silently.
+        for bad_len in [0u8, 1] {
+            let err = parse_pcap_tcp(&pcap_with_options(&[8, bad_len, 0, 0])[..]).unwrap_err();
+            assert!(
+                matches!(err, ImportError::Format(m) if m.contains("declared length")),
+                "len {bad_len}: {err}"
+            );
+        }
+        // SACK with a bad declared length is rejected the same way.
+        let err = parse_pcap_tcp(&pcap_with_options(&[5, 1, 0, 0])[..]).unwrap_err();
+        assert!(matches!(err, ImportError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_tcp_options() {
+        // Length byte points past the end of the option area…
+        let err = parse_pcap_tcp(&pcap_with_options(&[5, 34, 0, 0])[..]).unwrap_err();
+        assert!(
+            matches!(err, ImportError::Format(m) if m.contains("overruns")),
+            "{err}"
+        );
+        // …or the option area ends before the length byte (EOL padding
+        // after a bare kind would be mis-read as length 0).
+        let err = parse_pcap_tcp(&pcap_with_options(&[1, 1, 1, 8])[..]).unwrap_err();
+        assert!(
+            matches!(err, ImportError::Format(m) if m.contains("length byte")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl LatencySeries {
             .iter()
             .filter(|(t, _)| *t >= from && *t < to)
             .map(|(_, r)| r.as_millis_f64())
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(f64::total_cmp)
     }
 }
 

@@ -23,7 +23,7 @@
 use std::fs;
 use std::process::ExitCode;
 
-use csig_core::{train_sweep, SignatureClassifier};
+use csig_core::{train_sweep_with, SignatureClassifier};
 use csig_dtree::TreeParams;
 use csig_exec::cli::CommonArgs;
 use csig_features::features_from_samples;
@@ -91,11 +91,11 @@ fn cmd_train(args: &CommonArgs) -> Result<(), String> {
         profile: Profile::Scaled,
         seed: args.seed_or(42),
     };
-    let (_, model) = train_sweep(
+    let (_, model) = train_sweep_with(
         &sweep,
         threshold,
         TreeParams::default(),
-        args.jobs,
+        &args.executor(),
         args.progress_printer(10),
     );
     let clf = model.ok_or("sweep produced a single class; try a different threshold")?;
@@ -127,7 +127,8 @@ fn load_or_train_model(args: &CommonArgs) -> Result<SignatureClassifier, String>
                 profile: Profile::Scaled,
                 seed: 42,
             };
-            let (_, model) = train_sweep(&sweep, 0.7, TreeParams::default(), args.jobs, |_| {});
+            let (_, model) =
+                train_sweep_with(&sweep, 0.7, TreeParams::default(), &args.executor(), |_| {});
             model.ok_or_else(|| "default training failed".into())
         }
     }

@@ -1,0 +1,134 @@
+//! Robustness-layer integration tests: fault-injection determinism
+//! across worker counts, and campaign-level panic isolation.
+//!
+//! * A seeded [`FaultPlan`] must produce a byte-identical impairment
+//!   trace whether the campaign runs on 1 worker or 8 — impairment
+//!   randomness comes only from the scenario seed.
+//! * A scenario that panics mid-campaign must surface as a structured
+//!   [`ScenarioError`] while every other scenario's artifact stays
+//!   byte-identical to a run that never contained the bad scenario.
+
+use csig_exec::{Campaign, Executor, FailureKind, Scenario};
+use csig_netsim::{
+    FaultPlan, GilbertElliott, ImpairmentRecord, LinkConfig, SimDuration, SimTime, Simulator,
+};
+use csig_tcp::{ClientBehavior, ServerSendPolicy, TcpClientAgent, TcpConfig, TcpServerAgent};
+
+/// One impaired TCP download: a server→client transfer over a duplex
+/// link whose downstream direction carries the full fault menu (bursty
+/// loss, reordering, duplication, a mid-flow flap).
+#[derive(Clone, Copy)]
+struct ImpairedTransfer;
+
+/// The artifact: the impairment log plus a digest of what the client
+/// actually received — both must be independent of worker scheduling.
+type TransferArtifact = (Vec<ImpairmentRecord>, u64, u64);
+
+impl Scenario for ImpairedTransfer {
+    type Artifact = TransferArtifact;
+
+    fn run(&self, seed: u64) -> TransferArtifact {
+        let mut sim = Simulator::new(seed);
+        let server = sim.add_host(Box::new(TcpServerAgent::new(
+            TcpConfig::default(),
+            ServerSendPolicy::Fixed(400_000),
+        )));
+        let client = sim.add_host(Box::new(TcpClientAgent::new(
+            server,
+            TcpConfig::default(),
+            ClientBehavior::Once,
+            7,
+        )));
+        let (down, _up) = sim.add_duplex_link(
+            server,
+            client,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(10)).buffer_ms(100),
+        );
+        sim.attach_fault_plan(
+            down,
+            FaultPlan::new()
+                .gilbert_elliott(GilbertElliott::bursty(6.0, 0.01))
+                .reorder(0.01, SimDuration::from_millis(2))
+                .duplicate(0.002)
+                .down_between(SimTime::from_millis(150), SimTime::from_millis(180)),
+        );
+        sim.compute_routes();
+        sim.set_event_budget(50_000_000);
+        sim.run();
+        let stats = &sim.link(down).stats;
+        (
+            sim.fault_log(down).to_vec(),
+            stats.dropped_total(),
+            stats.delivered_bytes,
+        )
+    }
+}
+
+#[test]
+fn fault_plans_are_jobs_invariant() {
+    let mut campaign = Campaign::new(0xFA17);
+    for _ in 0..6 {
+        campaign.push(ImpairedTransfer);
+    }
+    let seq = Executor::new(1).run(&campaign);
+    let par = Executor::new(8).run(&campaign);
+    let seq_json = serde_json::to_string(&seq).expect("serialize sequential");
+    let par_json = serde_json::to_string(&par).expect("serialize parallel");
+    assert_eq!(seq_json, par_json, "impairment traces depend on jobs");
+    // The plans actually fired: every scenario logged impairments and
+    // lost something (GE loss + a flap over a 400 kB transfer).
+    for (log, dropped, delivered) in &seq {
+        assert!(!log.is_empty(), "no impairments logged");
+        assert!(*dropped > 0, "nothing dropped");
+        assert!(*delivered > 0, "nothing delivered");
+    }
+    // Different seeds produce different impairment sequences (the log
+    // is seed-derived, not constant).
+    assert_ne!(seq[0].0, seq[1].0);
+}
+
+#[test]
+fn panicking_scenario_is_isolated_and_rest_is_byte_identical() {
+    // Suppress the default panic-hook backtrace noise from the
+    // deliberately panicking worker.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let bad_index = 3;
+    let mut full = Campaign::new(0);
+    let mut clean = Campaign::new(0);
+    for i in 0..8u64 {
+        // Seeds fixed at submission so removing the bad scenario does
+        // not shift anyone else's seed.
+        let seed = 0x5EED_0000 + i;
+        let scenario = move |s: u64| {
+            if i == bad_index {
+                panic!("deliberate failure in scenario {i}");
+            }
+            ImpairedTransfer.run(s)
+        };
+        full.push_seeded(seed, scenario);
+        if i != bad_index {
+            clean.push_seeded(seed, scenario);
+        }
+    }
+
+    let run = Executor::new(4).run_isolated(&full);
+    std::panic::set_hook(hook);
+
+    let failures = run.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].index, bad_index as usize);
+    assert_eq!(failures[0].seed, 0x5EED_0000 + bad_index);
+    assert_eq!(failures[0].kind, FailureKind::Panicked);
+    assert!(failures[0].message.contains("deliberate failure"));
+    assert!(run.summary().contains("1/8 scenarios failed"));
+
+    // Every surviving artifact is byte-identical to a campaign that
+    // never contained the panicking scenario.
+    let survivors = run.artifacts();
+    let reference = Executor::new(2).run(&clean);
+    let a = serde_json::to_string(&survivors).expect("serialize survivors");
+    let b = serde_json::to_string(&reference).expect("serialize reference");
+    assert_eq!(a, b, "panic isolation perturbed surviving artifacts");
+}

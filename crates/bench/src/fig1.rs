@@ -8,7 +8,8 @@
 
 use csig_exec::{Campaign, Executor, ProgressEvent};
 use csig_netsim::rng::derive_seed;
-use csig_testbed::{AccessParams, Profile, SweepScenario, TestResult};
+use csig_obs::{MetricsRegistry, Snapshot, TraceEvent};
+use csig_testbed::{AccessParams, ObservedSweepScenario, Profile, SweepScenario, TestResult};
 use serde::{Deserialize, Serialize};
 
 /// One flow's Figure-1 metrics.
@@ -98,6 +99,92 @@ pub fn run_with<F: FnMut(ProgressEvent)>(
     collect(&exec.run_with_progress(&campaign(reps, profile, seed), progress))
 }
 
+/// Figure-1 results together with the campaign's observability.
+#[derive(Debug, Clone)]
+pub struct Fig1Observed {
+    /// The figure data, identical to what [`run_with`] produces.
+    pub data: Fig1Data,
+    /// Merged campaign metrics: executor counters plus every
+    /// scenario's snapshot absorbed in submission order.
+    pub metrics: Snapshot,
+    /// Trace events from all scenarios, each tagged with its campaign
+    /// index, concatenated in submission order.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// [`campaign`] with per-scenario observability attached to each cell.
+pub fn observed_campaign(
+    reps: u32,
+    profile: Profile,
+    seed: u64,
+) -> Campaign<ObservedSweepScenario> {
+    let mut observed = Campaign::new(seed);
+    for (scenario_seed, sc) in campaign(reps, profile, seed).iter() {
+        observed.push_seeded(*scenario_seed, ObservedSweepScenario(*sc));
+    }
+    observed
+}
+
+/// [`run_with`], instrumented: per-scenario metrics snapshots are
+/// merged into one campaign registry (with the executor's own
+/// counters), trace events are collected, and tree inference over the
+/// resulting flows is timed under `time.inference_us` — using a model
+/// trained on the campaign's own labeled results, threshold 0.7.
+///
+/// The figure data is byte-identical to the unobserved path, and the
+/// deterministic subset of `metrics` is byte-identical across same-seed
+/// runs at any worker count.
+pub fn run_observed_with<F: FnMut(ProgressEvent)>(
+    reps: u32,
+    profile: Profile,
+    seed: u64,
+    exec: &Executor,
+    progress: F,
+) -> Fig1Observed {
+    let reg = MetricsRegistry::new();
+    let artifacts = exec
+        .run_observed_with_progress(&observed_campaign(reps, profile, seed), &reg, progress)
+        .expect_artifacts();
+    let mut results = Vec::with_capacity(artifacts.len());
+    let mut trace = Vec::new();
+    for (i, (result, snapshot, events)) in artifacts.into_iter().enumerate() {
+        reg.absorb(&snapshot);
+        trace.extend(
+            events
+                .into_iter()
+                .map(|e| e.field("campaign_index", i as u64)),
+        );
+        results.push(result);
+    }
+    time_inference(&reg, &results);
+    Fig1Observed {
+        data: collect(&results),
+        metrics: reg.snapshot(),
+        trace,
+    }
+}
+
+/// Train a quick tree on the campaign's own labeled results and
+/// classify every flow under the `time.inference_us` timer, so `fig1
+/// --metrics-out` reports real inference cost next to the event-loop
+/// and feature-extraction timers.
+fn time_inference(reg: &MetricsRegistry, results: &[TestResult]) {
+    let Some(model) =
+        csig_core::train_from_results(results, 0.7, csig_dtree::TreeParams::default())
+    else {
+        return;
+    };
+    let timer = reg.timer("time.inference_us");
+    let inferences = reg.counter("flows.inferences");
+    for r in results {
+        if let Ok(f) = &r.features {
+            let _t = timer.start_timer();
+            let _ = model.classify_with_confidence(f);
+            inferences.add(1);
+        }
+    }
+}
+
 /// Print the two CDFs as aligned percentile tables.
 pub fn print(data: &Fig1Data) {
     let pct = |v: &[f64], p: f64| csig_features::percentile(v, p).unwrap_or(f64::NAN);
@@ -138,6 +225,34 @@ pub fn print(data: &Fig1Data) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn observed_run_matches_plain_and_is_jobs_invariant() {
+        let plain = run(2, Profile::Scaled, 21);
+        let seq = run_observed_with(2, Profile::Scaled, 21, &Executor::sequential(), |_| {});
+        let par = run_observed_with(2, Profile::Scaled, 21, &Executor::new(4), |_| {});
+        // Figure data unchanged by instrumentation.
+        assert_eq!(format!("{plain:?}"), format!("{:?}", seq.data));
+        // Deterministic metrics identical across worker counts.
+        let a = seq.metrics.deterministic().to_json();
+        let b = par.metrics.deterministic().to_json();
+        assert_eq!(a, b);
+        assert!(seq.metrics.counter("sim.events").unwrap_or(0) > 0);
+        assert!(seq.metrics.counter("rtt.samples").unwrap_or(0) > 0);
+        assert!(seq.metrics.counter("flows.verdicts").unwrap_or(0) > 0);
+        assert_eq!(seq.metrics.counter("exec.scenarios_ok"), Some(4));
+        // Traces are identical too (sim-time only, no wall clock).
+        assert_eq!(
+            seq.trace
+                .iter()
+                .map(|e| e.to_json_line())
+                .collect::<Vec<_>>(),
+            par.trace
+                .iter()
+                .map(|e| e.to_json_line())
+                .collect::<Vec<_>>()
+        );
+    }
 
     #[test]
     fn figure1_shape_holds() {

@@ -25,12 +25,21 @@ pub struct FlowQuality {
     /// The probe saw inbound packets out of order (packet-id or
     /// cumulative-ACK regression): RTT samples may be contaminated.
     pub reorder_suspect: bool,
+    /// The flow's slow-start RTT samples were too few or degenerate
+    /// (fewer than [`csig_features::MIN_SAMPLES`], or `max`/`mean` RTT
+    /// of zero) to compute features: the report carries a skip, never a
+    /// verdict. Set exactly when `verdict` is `Err`.
+    pub insufficient_samples: bool,
 }
 
 impl FlowQuality {
     /// `true` when no degradation flag is set.
     pub fn is_clean(&self) -> bool {
-        !(self.truncated || self.never_closed || self.idle_evicted || self.reorder_suspect)
+        !(self.truncated
+            || self.never_closed
+            || self.idle_evicted
+            || self.reorder_suspect
+            || self.insufficient_samples)
     }
 }
 
@@ -51,6 +60,9 @@ impl std::fmt::Display for FlowQuality {
         }
         if self.reorder_suspect {
             flags.push("reorder-suspect");
+        }
+        if self.insufficient_samples {
+            flags.push("insufficient-samples");
         }
         write!(f, "{}", flags.join("+"))
     }

@@ -17,9 +17,41 @@ use crate::analysis::{FlowQuality, FlowReport};
 use crate::classifier::{SignatureClassifier, Verdict};
 use csig_features::FlowProbe;
 use csig_netsim::{Direction, FlowId, PacketRecord, PacketSink, SimDuration, SimTime};
+use csig_obs::{Counter, Histogram, MetricsRegistry, TraceBuffer, TraceEvent};
 use csig_trace::OffsetTracker;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Metric handles the analyzer updates as flows complete.
+#[derive(Debug, Clone)]
+struct LiveObs {
+    /// `flows.verdicts` — flows that produced a classification.
+    verdicts: Counter,
+    /// `flows.skips_insufficient` — flows skipped for too-few or
+    /// degenerate RTT samples.
+    skips: Counter,
+    /// `flows.evicted` — flows dropped by the idle timeout.
+    evicted: Counter,
+    /// `flows.truncated` — flows still open when the stream ended.
+    truncated: Counter,
+    /// `rtt.samples` — RTT samples accumulated across reported flows.
+    rtt_samples: Counter,
+    /// `time.inference_us` — wall-clock tree-inference time.
+    inference: Histogram,
+}
+
+impl LiveObs {
+    fn register(reg: &MetricsRegistry) -> Self {
+        LiveObs {
+            verdicts: reg.counter("flows.verdicts"),
+            skips: reg.counter("flows.skips_insufficient"),
+            evicted: reg.counter("flows.evicted"),
+            truncated: reg.counter("flows.truncated"),
+            rtt_samples: reg.counter("rtt.samples"),
+            inference: reg.timer("time.inference_us"),
+        }
+    }
+}
 
 /// Watches one flow's FIN exchange from the server-side tap.
 ///
@@ -125,6 +157,11 @@ pub struct LiveAnalyzer {
     done: Vec<FlowReport>,
     idle_timeout: Option<SimDuration>,
     last_sweep: SimTime,
+    obs: Option<LiveObs>,
+    trace: Option<TraceBuffer>,
+    /// Stream time of the most recent record, stamped onto reports of
+    /// flows closed at [`LiveAnalyzer::finish`] time.
+    last_record_at: SimTime,
 }
 
 impl LiveAnalyzer {
@@ -138,7 +175,28 @@ impl LiveAnalyzer {
             done: Vec::new(),
             idle_timeout: None,
             last_sweep: SimTime::ZERO,
+            obs: None,
+            trace: None,
+            last_record_at: SimTime::ZERO,
         }
+    }
+
+    /// Builder: register the analyzer's counters (`flows.verdicts`,
+    /// `flows.skips_insufficient`, `flows.evicted`, `flows.truncated`,
+    /// `rtt.samples`) and the `time.inference_us` profiling timer into
+    /// `reg`, updating them as flows complete.
+    #[must_use]
+    pub fn with_metrics(mut self, reg: &MetricsRegistry) -> Self {
+        self.obs = Some(LiveObs::register(reg));
+        self
+    }
+
+    /// Builder: emit structured trace events (scope `"live"`) — one per
+    /// verdict, skip, or eviction — into `buf`.
+    #[must_use]
+    pub fn with_trace(mut self, buf: TraceBuffer) -> Self {
+        self.trace = Some(buf);
+        self
     }
 
     /// Builder: evict flows that produce no records for at least
@@ -165,6 +223,7 @@ impl LiveAnalyzer {
     /// silent too long are evicted and reported as degraded.
     pub fn push(&mut self, rec: &PacketRecord) {
         let flow = rec.pkt.flow;
+        self.last_record_at = rec.time;
         if !self.closed.contains(&flow) {
             let lf = self.flows.entry(flow).or_insert_with(|| LiveFlow {
                 probe: FlowProbe::new(flow),
@@ -181,7 +240,7 @@ impl LiveAnalyzer {
                         reorder_suspect: lf.probe.reorder_suspect(),
                         ..FlowQuality::default()
                     };
-                    self.done.push(report_for(&self.clf, &lf.probe, quality));
+                    self.emit(&lf.probe, quality, rec.time);
                 }
             }
         }
@@ -211,9 +270,48 @@ impl LiveAnalyzer {
                     reorder_suspect: lf.probe.reorder_suspect(),
                     ..FlowQuality::default()
                 };
-                self.done.push(report_for(&self.clf, &lf.probe, quality));
+                self.emit(&lf.probe, quality, now);
             }
         }
+    }
+
+    /// Build one flow's report (see [`report_for`]), update the metric
+    /// counters and trace ring if attached, and queue it for draining.
+    fn emit(&mut self, probe: &FlowProbe, quality: FlowQuality, at: SimTime) {
+        let report = {
+            // Time the whole classify path (features + tree walk);
+            // recorded only when a registry is attached.
+            let _timer = self.obs.as_ref().map(|o| o.inference.start_timer());
+            report_for(&self.clf, probe, quality)
+        };
+        if let Some(obs) = &self.obs {
+            obs.rtt_samples.add(probe.samples_total() as u64);
+            if report.verdict.is_ok() {
+                obs.verdicts.inc();
+            } else {
+                obs.skips.inc();
+            }
+            if report.quality.idle_evicted {
+                obs.evicted.inc();
+            }
+            if report.quality.truncated {
+                obs.truncated.inc();
+            }
+        }
+        if let Some(trace) = &self.trace {
+            let event = match &report.verdict {
+                Ok(v) => TraceEvent::new(at.as_nanos(), "live", "verdict")
+                    .field("flow", u64::from(report.flow.0))
+                    .field("class", v.class.label())
+                    .field("confidence", v.confidence),
+                Err(e) => TraceEvent::new(at.as_nanos(), "live", "skip")
+                    .field("flow", u64::from(report.flow.0))
+                    .field("quality", report.quality.to_string())
+                    .field("reason", e.to_string()),
+            };
+            trace.push(event);
+        }
+        self.done.push(report);
     }
 
     /// Number of flows still being tracked.
@@ -237,6 +335,7 @@ impl LiveAnalyzer {
     /// still open here never completed their FIN exchange, so their
     /// reports carry [`FlowQuality::truncated`] and `never_closed`.
     pub fn finish(mut self) -> Vec<FlowReport> {
+        let at = self.last_record_at;
         for (_, lf) in std::mem::take(&mut self.flows) {
             let quality = FlowQuality {
                 truncated: true,
@@ -244,7 +343,7 @@ impl LiveAnalyzer {
                 reorder_suspect: lf.probe.reorder_suspect(),
                 ..FlowQuality::default()
             };
-            self.done.push(report_for(&self.clf, &lf.probe, quality));
+            self.emit(&lf.probe, quality, at);
         }
         self.done.sort_by_key(|r| r.flow);
         self.done
@@ -258,8 +357,14 @@ impl PacketSink for LiveAnalyzer {
 }
 
 /// Classify one probe's accumulated state — the streaming mirror of
-/// [`SignatureClassifier::classify_trace`].
-fn report_for(clf: &SignatureClassifier, probe: &FlowProbe, quality: FlowQuality) -> FlowReport {
+/// [`SignatureClassifier::classify_trace`]. Flows whose features cannot
+/// be computed get [`FlowQuality::insufficient_samples`] set alongside
+/// the `Err` verdict, so quality flags and verdicts never disagree.
+fn report_for(
+    clf: &SignatureClassifier,
+    probe: &FlowProbe,
+    mut quality: FlowQuality,
+) -> FlowReport {
     let verdict = probe.features().map(|features| {
         let (class, confidence) = clf.classify_with_confidence(&features);
         Verdict {
@@ -269,6 +374,7 @@ fn report_for(clf: &SignatureClassifier, probe: &FlowProbe, quality: FlowQuality
             slow_start: probe.slow_start(),
         }
     });
+    quality.insufficient_samples = verdict.is_err();
     FlowReport {
         flow: probe.flow(),
         verdict,
@@ -522,6 +628,32 @@ mod tests {
         assert_eq!(rest[0].flow, FlowId(2));
         assert!(rest[0].quality.truncated && rest[0].quality.never_closed);
         assert!(!rest[0].quality.idle_evicted);
+    }
+
+    #[test]
+    fn short_flows_are_skipped_with_insufficient_samples_and_counted() {
+        let reg = MetricsRegistry::new();
+        let trace = TraceBuffer::with_capacity(16);
+        let mut live = LiveAnalyzer::new(tiny_model())
+            .with_metrics(&reg)
+            .with_trace(trace.clone());
+        // One bare data record: far below MIN_SAMPLES, never closes.
+        live.push(&bare_record(7, SimTime::from_secs(1)));
+        let reports = live.finish();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].verdict.is_err(), "no verdict for a short flow");
+        assert!(reports[0].quality.insufficient_samples);
+        assert!(!reports[0].quality.is_clean());
+        assert!(reports[0].quality.to_string().contains("insufficient"));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("flows.verdicts"), Some(0));
+        assert_eq!(snap.counter("flows.skips_insufficient"), Some(1));
+        assert_eq!(snap.counter("flows.truncated"), Some(1));
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].scope, "live");
+        assert_eq!(events[0].kind, "skip");
     }
 
     #[test]

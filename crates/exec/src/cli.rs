@@ -14,6 +14,12 @@
 //! * `--deadline SECS` — soft per-scenario deadline: a scenario that
 //!   runs longer is reported as failed (with its seed) instead of its
 //!   artifact; the rest of the campaign is unaffected.
+//! * `--metrics-out FILE` — write the campaign's **deterministic**
+//!   metrics snapshot (JSON, see [`csig_obs::Snapshot::to_json`]) at
+//!   campaign end. Deterministic means: wall-clock timers stripped, so
+//!   two same-seed runs produce byte-identical files at any `--jobs`.
+//! * `--trace-out FILE` — write the campaign's structured trace events
+//!   as JSONL at campaign end.
 //!
 //! Experiment-specific flags and positionals stay with the binary;
 //! the accessor helpers here ([`CommonArgs::flag_value`],
@@ -23,6 +29,7 @@ use std::str::FromStr;
 use std::time::Duration;
 
 use crate::{Executor, ProgressEvent};
+use csig_obs::{Snapshot, TraceEvent};
 
 /// Parsed common flags plus the raw argument list.
 #[derive(Debug, Clone)]
@@ -38,6 +45,11 @@ pub struct CommonArgs {
     pub progress: bool,
     /// Soft per-scenario deadline (`--deadline SECS`).
     pub deadline: Option<Duration>,
+    /// Where to write the deterministic metrics snapshot
+    /// (`--metrics-out FILE`).
+    pub metrics_out: Option<String>,
+    /// Where to write the JSONL trace (`--trace-out FILE`).
+    pub trace_out: Option<String>,
 }
 
 impl CommonArgs {
@@ -55,6 +67,8 @@ impl CommonArgs {
             paper: false,
             progress: false,
             deadline: None,
+            metrics_out: None,
+            trace_out: None,
         };
         if let Some(v) = parsed.flag_value("--jobs") {
             parsed.jobs = v.parse().unwrap_or_else(|_| {
@@ -70,7 +84,44 @@ impl CommonArgs {
             .and_then(|v| v.parse::<f64>().ok())
             .filter(|s| *s > 0.0)
             .map(Duration::from_secs_f64);
+        parsed.metrics_out = parsed.flag_value("--metrics-out").cloned();
+        parsed.trace_out = parsed.flag_value("--trace-out").cloned();
         parsed
+    }
+
+    /// Whether either observability sink (`--metrics-out` /
+    /// `--trace-out`) was requested — binaries use this to decide
+    /// whether to run the instrumented campaign path.
+    pub fn wants_observability(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Write the **deterministic** subset of `snapshot` to the
+    /// `--metrics-out` path, if one was given. Stripping the wall-clock
+    /// timers first is what makes the file byte-identical across
+    /// same-seed runs at any `--jobs` — the property
+    /// `scripts/verify.sh` checks.
+    pub fn write_metrics(&self, snapshot: &Snapshot) -> std::io::Result<()> {
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, snapshot.deterministic().to_json())?;
+            eprintln!("metrics snapshot written to {path}");
+        }
+        Ok(())
+    }
+
+    /// Write `events` as JSONL to the `--trace-out` path, if one was
+    /// given.
+    pub fn write_trace(&self, events: &[TraceEvent]) -> std::io::Result<()> {
+        if let Some(path) = &self.trace_out {
+            let mut out = String::new();
+            for e in events {
+                out.push_str(&e.to_json_line());
+                out.push('\n');
+            }
+            std::fs::write(path, out)?;
+            eprintln!("{} trace events written to {path}", events.len());
+        }
+        Ok(())
     }
 
     /// An executor sized by `--jobs`, with any `--deadline` applied.
@@ -216,6 +267,32 @@ mod tests {
         assert_eq!(args(&["--deadline", "0"]).deadline, None);
         // The value is not a positional.
         assert_eq!(args(&["--deadline", "2"]).positional_parsed(9u32), 9);
+    }
+
+    #[test]
+    fn observability_flags_parse_and_values_are_not_positionals() {
+        let a = args(&["--metrics-out", "m.json", "--trace-out", "t.jsonl", "3"]);
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(a.wants_observability());
+        assert_eq!(a.positional_parsed(9u32), 3);
+        assert!(!args(&[]).wants_observability());
+    }
+
+    #[test]
+    fn metrics_writer_strips_wall_clock_timers() {
+        let reg = csig_obs::MetricsRegistry::new();
+        reg.counter("sim.events").add(7);
+        reg.timer("time.wall_us").record(123);
+        let dir = std::env::temp_dir().join(format!("csig-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let a = args(&["--metrics-out", path.to_str().unwrap()]);
+        a.write_metrics(&reg.snapshot()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("sim.events"));
+        assert!(!body.contains("time.wall_us"), "timers must be stripped");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

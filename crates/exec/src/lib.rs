@@ -34,6 +34,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use csig_netsim::rng::derive_seed;
+use csig_obs::MetricsRegistry;
 
 /// One self-contained, seed-parameterized unit of simulation.
 ///
@@ -129,6 +130,8 @@ pub struct ProgressEvent {
     /// Whether the scenario produced an artifact (`false`: it panicked
     /// or overran the deadline).
     pub ok: bool,
+    /// Wall-clock time this scenario itself ran (not campaign time).
+    pub scenario_elapsed: Duration,
 }
 
 /// Why a scenario failed to produce an artifact.
@@ -371,7 +374,8 @@ impl Executor {
                 .iter()
                 .enumerate()
                 .map(|(index, (seed, scenario))| {
-                    let outcome = run_one(scenario, *seed, index, self.deadline);
+                    let (outcome, scenario_elapsed) =
+                        run_one(scenario, *seed, index, self.deadline);
                     progress(ProgressEvent {
                         index,
                         done: index + 1,
@@ -379,6 +383,7 @@ impl Executor {
                         elapsed: started.elapsed(),
                         worker: 0,
                         ok: outcome.is_ok(),
+                        scenario_elapsed,
                     });
                     outcome
                 })
@@ -387,7 +392,8 @@ impl Executor {
         }
 
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, usize, ScenarioOutcome<S::Artifact>)>();
+        type Done<A> = (usize, usize, ScenarioOutcome<A>, Duration);
+        let (tx, rx) = mpsc::channel::<Done<S::Artifact>>();
         let mut slots: Vec<Option<ScenarioOutcome<S::Artifact>>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
         let deadline = self.deadline;
@@ -403,11 +409,11 @@ impl Executor {
                         break;
                     }
                     let (seed, scenario) = &entries[index];
-                    let outcome = run_one(scenario, *seed, index, deadline);
+                    let (outcome, scenario_elapsed) = run_one(scenario, *seed, index, deadline);
                     // The receiver outlives all workers; a send only
                     // fails if the main thread panicked, in which case
                     // the scope is unwinding anyway.
-                    if tx.send((index, worker, outcome)).is_err() {
+                    if tx.send((index, worker, outcome, scenario_elapsed)).is_err() {
                         break;
                     }
                 });
@@ -419,7 +425,7 @@ impl Executor {
             // sends exactly one outcome per claimed index (panics are
             // caught inside `run_one`), so `total` messages arrive.
             for done in 1..=total {
-                let Ok((index, worker, outcome)) = rx.recv() else {
+                let Ok((index, worker, outcome, scenario_elapsed)) = rx.recv() else {
                     unreachable!("workers cannot die: scenario panics are caught");
                 };
                 progress(ProgressEvent {
@@ -429,6 +435,7 @@ impl Executor {
                     elapsed: started.elapsed(),
                     worker,
                     ok: outcome.is_ok(),
+                    scenario_elapsed,
                 });
                 slots[index] = Some(outcome);
             }
@@ -444,9 +451,60 @@ impl Executor {
             .collect();
         CampaignRun { outcomes }
     }
+
+    /// Like [`Executor::run_isolated_with_progress`], but also records
+    /// campaign-level execution metrics into `reg`:
+    ///
+    /// * `exec.scenarios_ok` / `exec.scenarios_failed` — counters of
+    ///   scenario outcomes;
+    /// * `exec.campaign_scenarios_hwm` — gauge of the largest campaign
+    ///   this registry has seen;
+    /// * `time.scenario_wall_us` — wall-clock histogram of per-scenario
+    ///   run time (non-deterministic, stripped by
+    ///   [`csig_obs::Snapshot::deterministic`]).
+    ///
+    /// Only the outcome counters are deterministic — they depend on
+    /// scenario behavior, not scheduling. The wall-time histogram is
+    /// registered through [`MetricsRegistry::timer`] so deterministic
+    /// snapshots stay jobs-invariant.
+    pub fn run_observed_with_progress<S, F>(
+        &self,
+        campaign: &Campaign<S>,
+        reg: &MetricsRegistry,
+        mut progress: F,
+    ) -> CampaignRun<S::Artifact>
+    where
+        S: Scenario + Sync,
+        F: FnMut(ProgressEvent),
+    {
+        let ok = reg.counter("exec.scenarios_ok");
+        let failed = reg.counter("exec.scenarios_failed");
+        let wall = reg.timer("time.scenario_wall_us");
+        reg.gauge("exec.campaign_scenarios_hwm")
+            .record(campaign.len() as u64);
+        self.run_isolated_with_progress(campaign, |event| {
+            if event.ok {
+                ok.inc();
+            } else {
+                failed.inc();
+            }
+            wall.record(event.scenario_elapsed.as_micros() as u64);
+            progress(event);
+        })
+    }
+}
+
+/// Whether `elapsed` overran a soft `deadline`. The comparison is
+/// **strict**: a scenario finishing exactly at the deadline is on time
+/// (`--deadline 5` means "may use up to 5 seconds", not "must finish
+/// strictly inside 5 seconds"), and no deadline means nothing is ever
+/// late.
+fn deadline_exceeded(elapsed: Duration, deadline: Option<Duration>) -> bool {
+    matches!(deadline, Some(d) if elapsed > d)
 }
 
 /// Run one scenario under `catch_unwind`, applying the soft deadline.
+/// Returns the outcome plus the scenario's own wall-clock time.
 ///
 /// `AssertUnwindSafe` is sound here because a failed scenario's state
 /// is never observed again: scenarios are `Fn(&self, seed)` over shared
@@ -456,25 +514,31 @@ fn run_one<S: Scenario>(
     seed: u64,
     index: usize,
     deadline: Option<Duration>,
-) -> ScenarioOutcome<S::Artifact> {
+) -> (ScenarioOutcome<S::Artifact>, Duration) {
     let started = Instant::now();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| scenario.run(seed)));
     let elapsed = started.elapsed();
-    match result {
-        Ok(artifact) => match deadline {
-            Some(d) if elapsed > d => Err(ScenarioError {
-                index,
-                seed,
-                kind: FailureKind::DeadlineExceeded,
-                message: format!(
-                    "ran {:.2}s against a {:.2}s deadline",
-                    elapsed.as_secs_f64(),
-                    d.as_secs_f64()
-                ),
-                elapsed,
-            }),
-            _ => Ok(artifact),
-        },
+    let outcome = match result {
+        Ok(artifact) => {
+            if deadline_exceeded(elapsed, deadline) {
+                let Some(d) = deadline else {
+                    unreachable!("deadline_exceeded is false without a deadline")
+                };
+                Err(ScenarioError {
+                    index,
+                    seed,
+                    kind: FailureKind::DeadlineExceeded,
+                    message: format!(
+                        "ran {:.2}s against a {:.2}s deadline",
+                        elapsed.as_secs_f64(),
+                        d.as_secs_f64()
+                    ),
+                    elapsed,
+                })
+            } else {
+                Ok(artifact)
+            }
+        }
         Err(payload) => Err(ScenarioError {
             index,
             seed,
@@ -482,7 +546,8 @@ fn run_one<S: Scenario>(
             message: panic_message(payload.as_ref()),
             elapsed,
         }),
-    }
+    };
+    (outcome, elapsed)
 }
 
 #[cfg(test)]
@@ -696,5 +761,55 @@ mod tests {
         let run = Executor::sequential().run_isolated(&c);
         assert!(run.is_success());
         assert_eq!(run.summary(), "all 1 scenarios succeeded");
+    }
+
+    /// Regression: a scenario finishing *exactly* at the deadline must
+    /// not be reported as timed out — the comparison is strict.
+    #[test]
+    fn finishing_exactly_at_the_deadline_is_on_time() {
+        let d = Duration::from_secs(5);
+        assert!(!deadline_exceeded(d, Some(d)), "elapsed == deadline is OK");
+        assert!(!deadline_exceeded(d - Duration::from_nanos(1), Some(d)));
+        assert!(deadline_exceeded(d + Duration::from_nanos(1), Some(d)));
+        assert!(!deadline_exceeded(Duration::from_secs(1_000_000), None));
+    }
+
+    #[test]
+    fn progress_carries_per_scenario_elapsed() {
+        let mut c = Campaign::new(0);
+        c.push_seeded(1, Maybe::Good(1));
+        c.push_seeded(2, Maybe::Slow);
+        let mut per_scenario = Vec::new();
+        Executor::sequential().run_with_progress(&c, |e| {
+            per_scenario.push((e.index, e.scenario_elapsed));
+        });
+        let slow = per_scenario
+            .iter()
+            .find(|(i, _)| *i == 1)
+            .map(|(_, d)| *d)
+            .expect("slow scenario reported");
+        assert!(slow >= Duration::from_millis(50), "slow elapsed {slow:?}");
+    }
+
+    #[test]
+    fn observed_run_counts_outcomes_and_wall_time() {
+        let reg = csig_obs::MetricsRegistry::new();
+        let mut c = Campaign::new(0);
+        c.push_seeded(1, Maybe::Good(1));
+        c.push_seeded(2, Maybe::Good(2));
+        c.push_seeded(3, Maybe::Panic);
+        let run = quiet_panics(|| Executor::new(2).run_observed_with_progress(&c, &reg, |_| {}));
+        assert_eq!(run.failures().len(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("exec.scenarios_ok"), Some(2));
+        assert_eq!(snap.counter("exec.scenarios_failed"), Some(1));
+        assert_eq!(snap.gauge("exec.campaign_scenarios_hwm"), Some(3));
+        let wall = snap.histogram("time.scenario_wall_us").expect("timer");
+        assert_eq!(wall.count, 3);
+        // Wall time is non-deterministic: stripped from the contract view.
+        assert!(snap
+            .deterministic()
+            .histogram("time.scenario_wall_us")
+            .is_none());
     }
 }

@@ -157,7 +157,13 @@ impl FeatureAccumulator {
         let (Some(max), Some(min)) = (self.summary.max(), self.summary.min()) else {
             unreachable!("count checked non-zero above")
         };
-        if max <= 0.0 {
+        // NaN must be checked explicitly — `<= 0.0` lets it through
+        // into the divisions below. A zero mean with a positive max
+        // cannot happen with physical (non-negative) RTTs, but negative
+        // garbage samples could manufacture it and CoV would divide by
+        // it.
+        let mean = self.summary.mean();
+        if max.is_nan() || max <= 0.0 || mean.is_nan() || mean <= 0.0 {
             return Err(FeatureError::DegenerateRtt);
         }
         Ok(FlowFeatures {
@@ -236,6 +242,19 @@ mod tests {
     #[test]
     fn degenerate_rtts_rejected() {
         let rtts = vec![0.0; MIN_SAMPLES];
+        assert_eq!(
+            features_from_rtts_ms(&rtts),
+            Err(FeatureError::DegenerateRtt)
+        );
+    }
+
+    #[test]
+    fn zero_mean_with_positive_max_rejected() {
+        // Samples averaging to zero would make CoV divide by zero even
+        // though max > 0; such flows must be rejected, not classified.
+        let mut rtts = vec![0.0; MIN_SAMPLES];
+        rtts[0] = 5.0;
+        rtts[1] = -5.0;
         assert_eq!(
             features_from_rtts_ms(&rtts),
             Err(FeatureError::DegenerateRtt)

@@ -117,12 +117,13 @@ pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
         .collect()
 }
 
-/// Interpolated percentile (`p` in [0, 100]); `None` when empty.
+/// Interpolated percentile; `None` when the slice is empty, when `p`
+/// is NaN or outside `[0, 100]`, or when any sample is NaN (a NaN rank
+/// would otherwise index garbage).
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    if values.is_empty() {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) || values.iter().any(|v| v.is_nan()) {
         return None;
     }
-    assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
@@ -190,6 +191,19 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), Some(30.0));
         assert_eq!(percentile(&v, 25.0), Some(15.0));
         assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_inputs_without_panicking() {
+        let v = [10.0, 20.0, 30.0];
+        // Out-of-range p used to assert!; it must degrade to None.
+        assert_eq!(percentile(&v, -0.001), None);
+        assert_eq!(percentile(&v, 100.001), None);
+        assert_eq!(percentile(&v, f64::NAN), None);
+        // NaN samples would produce a NaN rank downstream.
+        assert_eq!(percentile(&[1.0, f64::NAN], 50.0), None);
+        // Infinite-but-not-NaN samples still sort deterministically.
+        assert_eq!(percentile(&[f64::INFINITY, 1.0], 0.0), Some(1.0));
     }
 
     proptest! {

@@ -28,9 +28,45 @@ use crate::packet::{Packet, PacketSpec};
 use crate::rng::stream_rng;
 use crate::stats::LinkStats;
 use crate::time::{SimDuration, SimTime};
+use csig_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceBuffer, TraceEvent};
 use rand::rngs::StdRng;
 use std::any::Any;
 use std::collections::VecDeque;
+
+/// Metric handles the simulator updates while running (see
+/// [`Simulator::attach_obs`]). All counters and the gauge are
+/// deterministic — they reflect simulation state only; the event-loop
+/// timer is wall-clock and registered as non-deterministic.
+struct SimObs {
+    /// `sim.events` — events processed.
+    events: Counter,
+    /// `sim.packets_sent` — packets originated by agents.
+    packets_sent: Counter,
+    /// `sim.packets_delivered` — packets delivered to their final
+    /// destination node.
+    packets_delivered: Counter,
+    /// `sim.packets_dropped` — enqueue-time drops of any kind (loss,
+    /// buffer full, early drop, link down).
+    packets_dropped: Counter,
+    /// `sim.queue_hwm_bytes` — high-water mark of any link queue.
+    queue_hwm_bytes: Gauge,
+    /// `time.sim_event_loop_us` — wall-clock time spent inside
+    /// [`Simulator::run_until`].
+    loop_timer: Histogram,
+}
+
+impl SimObs {
+    fn register(reg: &MetricsRegistry) -> Self {
+        SimObs {
+            events: reg.counter("sim.events"),
+            packets_sent: reg.counter("sim.packets_sent"),
+            packets_delivered: reg.counter("sim.packets_delivered"),
+            packets_dropped: reg.counter("sim.packets_dropped"),
+            queue_hwm_bytes: reg.gauge("sim.queue_hwm_bytes"),
+            loop_timer: reg.timer("time.sim_event_loop_us"),
+        }
+    }
+}
 
 /// Node role. Routers are deliberately payload-free, so the enum is as
 /// large as a `Host`; hosts vastly outnumber the size savings boxing
@@ -82,6 +118,8 @@ pub struct Simulator {
     /// unlimited).
     event_budget: u64,
     cmd_buf: Vec<Command>,
+    obs: Option<SimObs>,
+    trace: Option<TraceBuffer>,
 }
 
 impl Simulator {
@@ -100,7 +138,25 @@ impl Simulator {
             events_processed: 0,
             event_budget: u64::MAX,
             cmd_buf: Vec::new(),
+            obs: None,
+            trace: None,
         }
+    }
+
+    /// Register the simulator's metrics (`sim.events`,
+    /// `sim.packets_sent`, `sim.packets_delivered`,
+    /// `sim.packets_dropped`, the `sim.queue_hwm_bytes` gauge, and the
+    /// wall-clock `time.sim_event_loop_us` timer) into `reg` and update
+    /// them while running. All except the timer are deterministic
+    /// functions of the seed and topology.
+    pub fn attach_obs(&mut self, reg: &MetricsRegistry) {
+        self.obs = Some(SimObs::register(reg));
+    }
+
+    /// Emit structured trace events (scope `"sim"`: packet drops, link
+    /// fault actions) into `buf` while running.
+    pub fn attach_trace_buffer(&mut self, buf: TraceBuffer) {
+        self.trace = Some(buf);
     }
 
     /// Cap the number of processed events (safety valve for tests).
@@ -346,6 +402,19 @@ impl Simulator {
 
     /// Run until the queue drains or `horizon` is reached.
     pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        let events_before = self.events_processed;
+        // The guard records wall time into `time.sim_event_loop_us` on
+        // every exit path; the event-count delta is added on drop of
+        // this scope too (see below).
+        let _loop_timer = self.obs.as_ref().map(|o| o.loop_timer.start_timer());
+        let stop = self.run_until_inner(horizon);
+        if let Some(o) = &self.obs {
+            o.events.add(self.events_processed - events_before);
+        }
+        stop
+    }
+
+    fn run_until_inner(&mut self, horizon: SimTime) -> StopReason {
         self.ensure_route_table();
         loop {
             if self.events_processed >= self.event_budget {
@@ -417,6 +486,13 @@ impl Simulator {
             }
             EventKind::LinkFault(link, action) => {
                 let now = self.now;
+                if let Some(trace) = &self.trace {
+                    trace.push(
+                        TraceEvent::new(now.as_nanos(), "sim", "fault")
+                            .field("link", u64::from(link.0))
+                            .field("action", format!("{action:?}")),
+                    );
+                }
                 self.links[link.index()].apply_fault_action(now, action);
                 // An Up (or rate step) may make a parked backlog
                 // serviceable again.
@@ -430,6 +506,9 @@ impl Simulator {
     fn deliver(&mut self, node: NodeId, pkt: Packet) {
         self.record_capture(node, Direction::In, &pkt);
         if pkt.dst == node {
+            if let Some(o) = &self.obs {
+                o.packets_delivered.inc();
+            }
             match &self.nodes[node.index()] {
                 NodeSlot::Host { .. } => self.agent_callback(node, AgentCall::Packet(pkt)),
                 NodeSlot::Router => {
@@ -502,7 +581,11 @@ impl Simulator {
     fn enqueue_on_link(&mut self, link: LinkId, pkt: Packet) {
         let l = &mut self.links[link.index()];
         let rng = &mut self.link_rngs[link.index()];
-        match l.enqueue(pkt, self.now, rng) {
+        let outcome = l.enqueue(pkt, self.now, rng);
+        if let Some(o) = &self.obs {
+            o.queue_hwm_bytes.record(l.queued_bytes());
+        }
+        match outcome {
             EnqueueOutcome::Queued {
                 schedule_service: true,
                 service_at,
@@ -510,11 +593,30 @@ impl Simulator {
                 self.events.push(service_at, EventKind::LinkService(link));
             }
             EnqueueOutcome::Queued { .. } => {}
-            // Drops are counted in link stats; nothing further to do.
+            // Drops are counted in link stats (and, when attached, the
+            // metrics registry and trace ring).
             EnqueueOutcome::DroppedLoss
             | EnqueueOutcome::DroppedFull
             | EnqueueOutcome::DroppedEarly
-            | EnqueueOutcome::DroppedDown => {}
+            | EnqueueOutcome::DroppedDown => {
+                if let Some(o) = &self.obs {
+                    o.packets_dropped.inc();
+                }
+                if let Some(trace) = &self.trace {
+                    let reason = match outcome {
+                        EnqueueOutcome::DroppedLoss => "loss",
+                        EnqueueOutcome::DroppedFull => "full",
+                        EnqueueOutcome::DroppedEarly => "early",
+                        EnqueueOutcome::DroppedDown => "down",
+                        EnqueueOutcome::Queued { .. } => unreachable!("drop arm"),
+                    };
+                    trace.push(
+                        TraceEvent::new(self.now.as_nanos(), "sim", "drop")
+                            .field("link", u64::from(link.0))
+                            .field("reason", reason),
+                    );
+                }
+            }
         }
     }
 
@@ -603,6 +705,9 @@ impl Simulator {
             kind: spec.kind,
         };
         self.next_packet_id += 1;
+        if let Some(o) = &self.obs {
+            o.packets_sent.inc();
+        }
         self.record_capture(node, Direction::Out, &pkt);
         match self.route(node, pkt.dst) {
             Some(link) => self.enqueue_on_link(link, pkt),
@@ -869,6 +974,58 @@ mod tests {
         assert_eq!(sim.run(), StopReason::Drained);
         let sink: &SinkAgent = sim.agent(b).unwrap();
         assert_eq!(sink.packets, 10);
+    }
+
+    #[test]
+    fn attached_metrics_are_deterministic_and_drops_are_traced() {
+        let run = |seed: u64| {
+            let reg = MetricsRegistry::new();
+            let trace = TraceBuffer::with_capacity(4096);
+            // The blaster overruns a tiny buffer, so drops occur.
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_host(Box::new(Blaster::new(
+                NodeId(1),
+                100,
+                1500,
+                SimDuration::ZERO,
+            )));
+            let b = sim.add_host(Box::new(SinkAgent::default()));
+            sim.add_duplex_link(
+                a,
+                b,
+                LinkConfig::new(1_000_000, SimDuration::from_millis(1)).buffer_ms(100),
+            );
+            sim.compute_routes();
+            sim.attach_obs(&reg);
+            sim.attach_trace_buffer(trace.clone());
+            sim.run();
+            (reg.snapshot(), trace.snapshot(), sim.events_processed())
+        };
+        let (snap, events, processed) = run(5);
+        assert_eq!(snap.counter("sim.events"), Some(processed));
+        assert_eq!(snap.counter("sim.packets_sent"), Some(100));
+        let delivered = snap.counter("sim.packets_delivered").unwrap();
+        let dropped = snap.counter("sim.packets_dropped").unwrap();
+        assert_eq!(delivered + dropped, 100);
+        assert!(dropped > 0, "tiny buffer must overflow");
+        assert!(snap.gauge("sim.queue_hwm_bytes").unwrap() > 0);
+        // The wall-clock loop timer exists but is non-deterministic.
+        assert!(snap.histogram("time.sim_event_loop_us").is_some());
+        assert!(snap
+            .deterministic()
+            .histogram("time.sim_event_loop_us")
+            .is_none());
+        // One trace event per drop, in time order, rendering as JSONL.
+        assert_eq!(events.len(), dropped as usize);
+        assert!(events.iter().all(|e| e.scope == "sim" && e.kind == "drop"));
+        // Same seed → byte-identical deterministic snapshot and trace.
+        let (snap2, events2, _) = run(5);
+        assert_eq!(snap.deterministic(), snap2.deterministic());
+        assert_eq!(
+            snap.deterministic().to_json(),
+            snap2.deterministic().to_json()
+        );
+        assert_eq!(events, events2);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Zero-dependency observability layer for the congestion-signature
+//! stack.
+//!
+//! Every component between a packet entering `csig-netsim` and a
+//! verdict leaving `csig-core` registers into the two primitives here:
+//!
+//! * [`MetricsRegistry`] — named counters, high-water-mark gauges and
+//!   fixed log-scale-bucket histograms. Updates are plain atomic
+//!   operations (no lock on the write *or* read path; a mutex guards
+//!   only registration, which happens once per metric). A
+//!   [`Snapshot`] freezes every metric for rendering or comparison.
+//! * [`TraceBuffer`] — a bounded ring of structured
+//!   [`TraceEvent`]s (`time`, `scope`, `kind`, `fields`) with JSONL
+//!   rendering, for after-the-fact inspection of what the measurement
+//!   path actually did.
+//!
+//! # Determinism contract
+//!
+//! Metrics registered through [`MetricsRegistry::counter`],
+//! [`MetricsRegistry::gauge`] and [`MetricsRegistry::histogram`] are
+//! **deterministic**: fed from simulation state only, so the same seed
+//! produces bit-identical values regardless of worker count or
+//! wall-clock. Wall-clock profiling timers must instead be registered
+//! through [`MetricsRegistry::timer`], which marks them
+//! non-deterministic; [`Snapshot::deterministic`] strips them, and that
+//! stripped snapshot is the cross-run correctness oracle the
+//! integration tests compare.
+//!
+//! The crate deliberately depends on nothing (not even the vendored
+//! `serde`): JSON is rendered by hand, and the only `std::time` use is
+//! inside the explicit wall-clock timers.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry,
+    MetricValue, MetricsRegistry, Snapshot, TimerGuard, HISTOGRAM_BUCKETS,
+};
+pub use trace::{FieldValue, TraceBuffer, TraceEvent};
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes and control characters).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

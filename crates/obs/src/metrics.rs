@@ -1,0 +1,621 @@
+//! The metrics registry: counters, gauges, histograms, snapshots.
+
+use crate::json_escape;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`. 64 power-of-two buckets
+/// cover the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in (`0` for zero, else `floor(log2 v) + 1`).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (`0` for bucket 0, else
+/// `2^(i-1)`).
+///
+/// # Panics
+/// Panics if `i >= HISTOGRAM_BUCKETS`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Monotonically increasing counter. Cheap to clone (an `Arc` over one
+/// atomic); increments are relaxed atomic adds.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// High-water-mark gauge: [`Gauge::record`] keeps the maximum of all
+/// recorded values (queue depths, occupancy peaks).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Record an observation; the gauge keeps the maximum.
+    pub fn record(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current high-water mark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Histogram over `u64` values with fixed log-scale (power-of-two)
+/// buckets; also tracks count and sum for mean computation.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Start a wall-clock scope; elapsed **microseconds** are recorded
+    /// into this histogram when the returned guard drops.
+    pub fn start_timer(&self) -> TimerGuard {
+        TimerGuard {
+            hist: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_lower_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Scoped wall-clock timer: records elapsed microseconds into its
+/// histogram on drop. Obtained from [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct TimerGuard {
+    hist: Histogram,
+    started: Instant,
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        self.hist.record(self.started.elapsed().as_micros() as u64);
+    }
+}
+
+/// One registered metric plus its determinism marking.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Registered {
+    metric: Metric,
+    deterministic: bool,
+}
+
+/// Registry of named metrics shared by every instrumented component of
+/// one scenario (or one process).
+///
+/// Cloning the registry clones a handle to the same underlying metrics.
+/// Registration is idempotent: asking for an existing name returns a
+/// handle to the same cell, so independent components may register the
+/// same metric (e.g. `rtt.samples`) and their updates aggregate.
+///
+/// # Panics
+/// Registering an existing name as a *different* metric kind (or with a
+/// different determinism marking) panics — that is a programming error,
+/// not a runtime condition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Registered>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, deterministic: bool, make: impl FnOnce() -> Metric) -> Metric {
+        let Ok(mut map) = self.inner.lock() else {
+            unreachable!("metrics registry lock poisoned")
+        };
+        if let Some(existing) = map.get(name) {
+            let fresh = make();
+            assert_eq!(
+                existing.metric.kind_name(),
+                fresh.kind_name(),
+                "metric `{name}` re-registered as a different kind"
+            );
+            assert_eq!(
+                existing.deterministic, deterministic,
+                "metric `{name}` re-registered with a different determinism marking"
+            );
+            return existing.metric.clone();
+        }
+        let metric = make();
+        map.insert(
+            name.to_string(),
+            Registered {
+                metric: metric.clone(),
+                deterministic,
+            },
+        );
+        metric
+    }
+
+    /// Register (or look up) a deterministic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, true, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) a deterministic high-water-mark gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, true, || {
+            Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) a deterministic histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, true, || {
+            Metric::Histogram(Histogram(Arc::new(HistCore::default())))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) a **wall-clock** (non-deterministic) timing
+    /// histogram, in microseconds. Excluded from
+    /// [`Snapshot::deterministic`].
+    pub fn timer(&self, name: &str) -> Histogram {
+        match self.register(name, false, || {
+            Metric::Histogram(Histogram(Arc::new(HistCore::default())))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Freeze every registered metric into a [`Snapshot`] (entries in
+    /// name order, so equal registries render identical snapshots).
+    pub fn snapshot(&self) -> Snapshot {
+        let Ok(map) = self.inner.lock() else {
+            unreachable!("metrics registry lock poisoned")
+        };
+        let entries = map
+            .iter()
+            .map(|(name, reg)| MetricEntry {
+                name: name.clone(),
+                deterministic: reg.deterministic,
+                value: match &reg.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Merge a snapshot into this registry: counters add, gauges take
+    /// the max, histograms add bucket-wise. Used to aggregate
+    /// per-scenario snapshots into a campaign-level registry. Timing
+    /// entries keep their non-deterministic marking.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for e in &snap.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let c = if e.deterministic {
+                        self.counter(&e.name)
+                    } else {
+                        unreachable!("counters are always deterministic")
+                    };
+                    c.add(*v);
+                }
+                MetricValue::Gauge(v) => self.gauge(&e.name).record(*v),
+                MetricValue::Histogram(h) => {
+                    let dst = if e.deterministic {
+                        self.histogram(&e.name)
+                    } else {
+                        self.timer(&e.name)
+                    };
+                    for &(lower, n) in &h.buckets {
+                        dst.0.buckets[bucket_index(lower)].fetch_add(n, Ordering::Relaxed);
+                    }
+                    dst.0.count.fetch_add(h.count, Ordering::Relaxed);
+                    dst.0.sum.fetch_add(h.sum, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Frozen histogram state: only non-empty buckets, as
+/// `(bucket lower bound, count)` in ascending bound order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// `(inclusive lower bound, count)` of each non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One frozen metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// Registered name.
+    pub name: String,
+    /// Whether the metric is part of the deterministic contract.
+    pub deterministic: bool,
+    /// Frozen value.
+    pub value: MetricValue,
+}
+
+/// A frozen metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge high-water mark.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A frozen, name-ordered view of a registry — comparable, filterable
+/// and renderable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Frozen metrics in ascending name order.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry named `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge high-water mark by name (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram state by name (`None` if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The deterministic subset (wall-clock timers stripped) — the view
+    /// that must be byte-identical across worker counts and reruns of
+    /// the same seed.
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.deterministic)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Render as a stable, human-diffable JSON object keyed by metric
+    /// name. Counters/gauges render as integers; histograms as
+    /// `{"count", "sum", "buckets": [[lower, n], …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  \"{}\": ", json_escape(&e.name)));
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                        h.count, h.sum
+                    ));
+                    for (j, (lower, n)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{lower}, {n}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // 0 is its own bucket; each power of two starts a new bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            // A value exactly on a bucket edge opens the next bucket…
+            assert_eq!(bucket_index(v), k as usize + 1, "v = 2^{k}");
+            // …and the value just below it stays in the previous one.
+            if v > 1 {
+                assert_eq!(bucket_index(v - 1), k as usize, "v = 2^{k} - 1");
+            }
+            assert_eq!(bucket_lower_bound(k as usize + 1), v);
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_lower_bound(0), 0);
+    }
+
+    #[test]
+    fn histogram_counts_land_in_declared_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for v in [0, 1, 2, 3, 4, 1024, 1025] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 2 + 3 + 4 + 1024 + 1025);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        // Buckets: {0}, {1}, {2,3}, {4}, {1024,1025}.
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (1024, 2)]);
+        assert!((hs.mean() - h.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_kind_checked() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same underlying cell");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.gauge("x")));
+        assert!(r.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_ordered() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter("z.last").add(5);
+            reg.gauge("a.first").record(9);
+            reg.gauge("a.first").record(3); // HWM keeps 9
+            reg.histogram("m.mid").record(100);
+            reg.snapshot()
+        };
+        let s1 = build();
+        let s2 = build();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.to_json(), s2.to_json());
+        let names: Vec<&str> = s1.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.mid", "z.last"], "name-ordered");
+        assert_eq!(s1.gauge("a.first"), Some(9));
+        assert_eq!(s1.counter("z.last"), Some(5));
+        assert_eq!(s1.counter("a.first"), None, "kind-checked accessor");
+    }
+
+    #[test]
+    fn deterministic_subset_strips_timers() {
+        let reg = MetricsRegistry::new();
+        reg.counter("det").inc();
+        let t = reg.timer("time.wall_us");
+        t.record(123);
+        let snap = reg.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        let det = snap.deterministic();
+        assert_eq!(det.entries.len(), 1);
+        assert_eq!(det.entries[0].name, "det");
+        assert!(!snap.to_json().is_empty());
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let t = reg.timer("time.scope_us");
+        assert_eq!(t.count(), 0);
+        {
+            let _guard = t.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(t.count(), 1);
+        assert!(t.sum() >= 1_000, "at least ~1ms recorded, got {}", t.sum());
+    }
+
+    #[test]
+    fn absorb_merges_counters_gauges_histograms() {
+        let mk = |c: u64, g: u64, h: u64| {
+            let reg = MetricsRegistry::new();
+            reg.counter("c").add(c);
+            reg.gauge("g").record(g);
+            reg.histogram("h").record(h);
+            reg.timer("t").record(h);
+            reg.snapshot()
+        };
+        let total = MetricsRegistry::new();
+        total.absorb(&mk(1, 10, 4));
+        total.absorb(&mk(2, 7, 5));
+        let s = total.snapshot();
+        assert_eq!(s.counter("c"), Some(3));
+        assert_eq!(s.gauge("g"), Some(10));
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 9);
+        assert_eq!(h.buckets, vec![(4, 2)]);
+        // Timers stay non-deterministic through a merge.
+        assert!(s.deterministic().histogram("t").is_none());
+        assert_eq!(s.histogram("t").unwrap().count, 2);
+    }
+
+    #[test]
+    fn updates_are_atomic_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -142,6 +142,23 @@ impl ConnStats {
             self.limited[0].as_secs_f64() / total
         }
     }
+
+    /// Add this connection's counters into `reg` under the `tcp.*`
+    /// namespace (`tcp.segments_sent`, `tcp.retransmits`,
+    /// `tcp.fast_retransmits`, `tcp.timeouts`, `tcp.rtt_samples`,
+    /// `tcp.bytes_acked`). Registration is idempotent, so exporting
+    /// several connections into one registry aggregates them. All of
+    /// these are deterministic functions of the simulation seed.
+    pub fn export_metrics(&self, reg: &csig_obs::MetricsRegistry) {
+        reg.counter("tcp.segments_sent").add(self.segments_sent);
+        reg.counter("tcp.retransmits").add(self.retransmits);
+        reg.counter("tcp.fast_retransmits")
+            .add(self.fast_retransmits);
+        reg.counter("tcp.timeouts").add(self.timeouts);
+        reg.counter("tcp.rtt_samples")
+            .add(self.rtt_samples.len() as u64);
+        reg.counter("tcp.bytes_acked").add(self.bytes_acked);
+    }
 }
 
 /// Metadata for one outstanding (sent, unacked) segment.
@@ -1120,5 +1137,35 @@ impl TcpConnection {
             self.note_limit(SendLimit::App, now);
             self.stats.closed_at = Some(now);
         }
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn export_metrics_aggregates_across_connections() {
+        let reg = csig_obs::MetricsRegistry::new();
+        let a = ConnStats {
+            segments_sent: 10,
+            retransmits: 2,
+            rtt_samples: vec![(SimTime::ZERO, SimDuration::from_millis(40)); 3],
+            ..Default::default()
+        };
+        let b = ConnStats {
+            segments_sent: 5,
+            timeouts: 1,
+            bytes_acked: 1000,
+            ..Default::default()
+        };
+        a.export_metrics(&reg);
+        b.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("tcp.segments_sent"), Some(15));
+        assert_eq!(snap.counter("tcp.retransmits"), Some(2));
+        assert_eq!(snap.counter("tcp.timeouts"), Some(1));
+        assert_eq!(snap.counter("tcp.rtt_samples"), Some(3));
+        assert_eq!(snap.counter("tcp.bytes_acked"), Some(1000));
     }
 }

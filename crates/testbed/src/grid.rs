@@ -1,8 +1,9 @@
 //! The paper's parameter grid (§3.1) and sweep runner.
 
 use crate::config::{AccessParams, TestbedConfig};
-use crate::runner::{run_test, TestResult};
+use crate::runner::{run_test, run_test_observed, TestResult};
 use csig_exec::{Campaign, Executor, ProgressEvent, Scenario};
+use csig_obs::{MetricsRegistry, Snapshot, TraceBuffer, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Canonical §3.1 grid axes. Every grid in the workspace is built from
@@ -87,15 +88,53 @@ pub struct SweepScenario {
     pub profile: Profile,
 }
 
-impl Scenario for SweepScenario {
-    type Artifact = TestResult;
-
-    fn run(&self, seed: u64) -> TestResult {
+impl SweepScenario {
+    /// The testbed configuration this cell runs.
+    fn config(&self, seed: u64) -> TestbedConfig {
         let mut cfg = self.profile.config(self.access, seed);
         if self.external {
             cfg = cfg.externally_congested();
         }
-        run_test(&cfg)
+        cfg
+    }
+
+    /// Run this cell with a **fresh per-scenario** metrics registry and
+    /// trace buffer, returning the measurement together with the
+    /// scenario's metrics snapshot and trace events.
+    ///
+    /// Creating the registry inside the scenario — rather than sharing
+    /// one across workers — is what makes campaign-level metrics
+    /// jobs-invariant: each scenario's counters depend only on its own
+    /// seed, and the executor returns artifacts in submission order, so
+    /// merged snapshots are byte-identical at any `--jobs`.
+    pub fn run_observed(&self, seed: u64) -> (TestResult, Snapshot, Vec<TraceEvent>) {
+        let reg = MetricsRegistry::new();
+        let trace = TraceBuffer::new();
+        let result = run_test_observed(&self.config(seed), &reg, Some(trace.clone()));
+        let events = trace.drain();
+        (result, reg.snapshot(), events)
+    }
+}
+
+impl Scenario for SweepScenario {
+    type Artifact = TestResult;
+
+    fn run(&self, seed: u64) -> TestResult {
+        run_test(&self.config(seed))
+    }
+}
+
+/// [`SweepScenario`] wrapper whose artifact carries the per-scenario
+/// observability alongside the measurement. Used by the `fig*` binaries
+/// when `--metrics-out`/`--trace-out` is requested.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedSweepScenario(pub SweepScenario);
+
+impl Scenario for ObservedSweepScenario {
+    type Artifact = (TestResult, Snapshot, Vec<TraceEvent>);
+
+    fn run(&self, seed: u64) -> Self::Artifact {
+        self.0.run_observed(seed)
     }
 }
 
@@ -238,6 +277,26 @@ mod tests {
             .filter(|r| r.intended == csig_features::CongestionClass::SelfInduced)
             .count();
         assert_eq!(self_count, 2);
+    }
+
+    #[test]
+    fn observed_scenario_snapshots_are_deterministic() {
+        let sc = SweepScenario {
+            access: AccessParams::figure1(),
+            external: false,
+            profile: Profile::Scaled,
+        };
+        let (r1, s1, t1) = sc.run_observed(0xABCD);
+        let (r2, s2, t2) = sc.run_observed(0xABCD);
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        // Deterministic view is byte-identical; wall-clock timers are
+        // present in the raw snapshot but excluded from it.
+        assert_eq!(s1.deterministic().to_json(), s2.deterministic().to_json());
+        assert!(!s1.deterministic().is_empty());
+        assert_eq!(t1.len(), t2.len());
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.to_json_line(), b.to_json_line());
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::config::TestbedConfig;
 use crate::topology::{build, TEST_FLOW};
 use csig_features::{CongestionClass, FeatureError, FlowFeatures, FlowProbe};
 use csig_netsim::SimDuration;
+use csig_obs::{MetricsRegistry, TraceBuffer};
 use csig_tcp::{ConnStats, TcpServerAgent};
 use csig_trace::{SlowStart, ThroughputSummary};
 use serde::{Deserialize, Serialize};
@@ -56,7 +57,35 @@ impl TestResult {
 /// tail, and analyze the test flow's packet stream with a streaming
 /// probe.
 pub fn run_test(cfg: &TestbedConfig) -> TestResult {
+    run_test_inner(cfg, None)
+}
+
+/// [`run_test`] with observability attached: simulator counters and
+/// trace events go to `reg`/`trace`, feature extraction is wrapped in
+/// the `time.feature_extract_us` timer, the test flow's Web100 counters
+/// are exported as `tcp.*` metrics, and the per-flow outcome is counted
+/// under `flows.verdicts` / `flows.skips_insufficient` plus
+/// `rtt.samples`. The measured [`TestResult`] is byte-identical to the
+/// unobserved path.
+pub fn run_test_observed(
+    cfg: &TestbedConfig,
+    reg: &MetricsRegistry,
+    trace: Option<TraceBuffer>,
+) -> TestResult {
+    run_test_inner(cfg, Some((reg, trace)))
+}
+
+fn run_test_inner(
+    cfg: &TestbedConfig,
+    obs: Option<(&MetricsRegistry, Option<TraceBuffer>)>,
+) -> TestResult {
     let mut tb = build(cfg);
+    if let Some((reg, trace)) = &obs {
+        tb.sim.attach_obs(reg);
+        if let Some(buf) = trace {
+            tb.sim.attach_trace_buffer(buf.clone());
+        }
+    }
     let probe = tb
         .sim
         .attach_sink(tb.server1, Box::new(FlowProbe::new(TEST_FLOW)));
@@ -74,7 +103,24 @@ pub fn run_test(cfg: &TestbedConfig) -> TestResult {
     };
     let slow_start = probe.slow_start();
     let throughput = probe.throughput();
-    let features = probe.features();
+    let features = match &obs {
+        Some((reg, _)) => {
+            let _t = reg.timer("time.feature_extract_us").start_timer();
+            probe.features()
+        }
+        None => probe.features(),
+    };
+    if let Some((reg, _)) = &obs {
+        reg.counter("rtt.samples").add(probe.samples_total() as u64);
+        if features.is_ok() {
+            reg.counter("flows.verdicts").add(1);
+        } else {
+            reg.counter("flows.skips_insufficient").add(1);
+        }
+        if let Some(stats) = &conn_stats {
+            stats.export_metrics(reg);
+        }
+    }
     // Capacity-style slow-start estimate, falling back to the
     // whole-test mean for flows that never retransmitted.
     let ss_throughput_bps = probe.capacity_estimate_bps().unwrap_or(throughput.mean_bps);
@@ -141,6 +187,27 @@ mod tests {
         // Already-full interconnect buffer: lower NormDiff than the
         // self-induced case.
         assert!(f.norm_diff < 0.6, "norm_diff {}", f.norm_diff);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_fills_metrics() {
+        let cfg = TestbedConfig::scaled(AccessParams::figure1(), 104);
+        let plain = run_test(&cfg);
+        let reg = csig_obs::MetricsRegistry::new();
+        let trace = csig_obs::TraceBuffer::new();
+        let observed = run_test_observed(&cfg, &reg, Some(trace.clone()));
+        // Observability must not perturb the measurement.
+        assert_eq!(format!("{plain:?}"), format!("{observed:?}"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.events"), Some(observed.events));
+        assert!(snap.counter("rtt.samples").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("flows.verdicts"), Some(1));
+        assert!(snap.counter("tcp.segments_sent").unwrap_or(0) > 0);
+        // Feature extraction was timed.
+        assert!(snap.histogram("time.feature_extract_us").is_some());
+        // The figure-1 access link drops packets (self-induced loss), so
+        // the trace saw at least one drop event.
+        assert!(trace.snapshot().iter().any(|e| e.kind == "drop"));
     }
 
     #[test]

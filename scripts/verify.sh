@@ -16,6 +16,19 @@ cargo test -q --doc --workspace
 echo "==> cargo test -q --test stream_equivalence (streaming == batch)"
 cargo test -q --test stream_equivalence
 
+echo "==> observability: same-seed campaign snapshots are jobs-invariant"
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+./target/release/fig1 2 --seed 7 --jobs 1 \
+  --metrics-out "$obsdir/m1.json" --trace-out "$obsdir/t1.jsonl" >/dev/null 2>&1
+./target/release/fig1 2 --seed 7 --jobs 4 \
+  --metrics-out "$obsdir/m2.json" --trace-out "$obsdir/t2.jsonl" >/dev/null 2>&1
+test -s "$obsdir/m1.json" || { echo "verify: empty metrics snapshot"; exit 1; }
+test -s "$obsdir/t1.jsonl" || { echo "verify: empty trace"; exit 1; }
+grep -q '"sim.events"' "$obsdir/m1.json" || { echo "verify: snapshot missing sim.events"; exit 1; }
+cmp -s "$obsdir/m1.json" "$obsdir/m2.json" || { echo "verify: metrics snapshot differs across --jobs"; exit 1; }
+cmp -s "$obsdir/t1.jsonl" "$obsdir/t2.jsonl" || { echo "verify: trace differs across --jobs"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

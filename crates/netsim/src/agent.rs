@@ -156,7 +156,7 @@ mod tests {
             sent_at: SimTime::ZERO,
             kind: crate::packet::PacketKind::Background,
         };
-        sink.on_packet(&mut ctx, pkt.clone());
+        sink.on_packet(&mut ctx, pkt);
         sink.on_packet(&mut ctx, pkt);
         assert_eq!(sink.packets, 2);
         assert_eq!(sink.bytes, 1000);

@@ -82,7 +82,7 @@ impl Capture {
         self.records.push(PacketRecord {
             time,
             dir,
-            pkt: pkt.clone(),
+            pkt: *pkt,
         });
     }
 

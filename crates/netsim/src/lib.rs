@@ -49,6 +49,7 @@ pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod packet;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -59,7 +60,7 @@ pub use agent::{Agent, Command, Ctx, SinkAgent};
 pub use capture::{
     Capture, CaptureHandle, Direction, NullSink, PacketRecord, PacketSink, SinkHandle,
 };
-pub use event::TimerToken;
+pub use event::{EventEntry, EventKind, EventQueue, TimerToken};
 pub use fault::{
     FaultAction, FaultEvent, FaultPlan, GilbertElliott, Impairment, ImpairmentRecord, LossModel,
     ReorderSpec,
@@ -70,6 +71,7 @@ pub use packet::{
     Packet, PacketKind, PacketSpec, ProbeKind, SackBlocks, TcpFlags, TcpHeader, DEFAULT_MSS,
     NO_SACK, TCP_HEADER_BYTES,
 };
+pub use pool::{PacketHandle, PacketPool};
 pub use queue::{QueueKind, RedParams};
 pub use sim::{Simulator, StopReason};
 pub use stats::LinkStats;

@@ -12,12 +12,12 @@
 use crate::fault::{FaultAction, FaultState, Impairment, ImpairmentRecord};
 use crate::ids::{LinkId, NodeId};
 use crate::packet::Packet;
-use crate::queue::{EnqueueResult, LinkQueue, QueueKind};
+use crate::pool::{PacketHandle, PacketPool};
+use crate::queue::{EnqueueResult, LinkQueue, QueueKind, QueuedPacket};
 use crate::stats::LinkStats;
 use crate::time::{transmission_time, SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// How the buffer depth is specified.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -213,8 +213,9 @@ pub enum ServiceOutcome {
     Retry(SimTime),
     /// A packet departed.
     Deliver {
-        /// The packet, to arrive at the link's `to` node.
-        pkt: Packet,
+        /// Handle of the packet (in the simulator's pool), to arrive at
+        /// the link's `to` node.
+        pkt: PacketHandle,
         /// Arrival instant at the far end.
         arrival: SimTime,
         /// If `Some`, schedule the next service event at this time
@@ -235,8 +236,6 @@ pub struct Link {
     cfg: LinkConfig,
     bucket: TokenBucket,
     queue: LinkQueue,
-    /// Enqueue timestamps parallel to the queue FIFO (for delay stats).
-    enqueue_times: VecDeque<SimTime>,
     /// When the wire finishes serializing the last departed packet.
     wire_free_at: SimTime,
     /// Latest delivery timestamp handed out (for reorder clamping).
@@ -270,7 +269,6 @@ impl Link {
             to,
             bucket: TokenBucket::new(cfg.rate_bps, cfg.burst_bytes),
             queue: LinkQueue::new(cfg.queue, capacity),
-            enqueue_times: VecDeque::new(),
             wire_free_at: SimTime::ZERO,
             last_arrival: SimTime::ZERO,
             service_pending: false,
@@ -386,8 +384,15 @@ impl Link {
         self.cfg = cfg;
     }
 
-    /// Offer a packet to the link at time `now`.
-    pub fn enqueue<R: Rng>(&mut self, pkt: Packet, now: SimTime, rng: &mut R) -> EnqueueOutcome {
+    /// Offer a packet to the link at time `now`. Admitted packets are
+    /// stored in `pool`; drops never touch it.
+    pub fn enqueue<R: Rng>(
+        &mut self,
+        pkt: Packet,
+        now: SimTime,
+        pool: &mut PacketPool,
+        rng: &mut R,
+    ) -> EnqueueOutcome {
         self.stats.offered_pkts += 1;
         self.stats.offered_bytes += pkt.size as u64;
         if self.down {
@@ -413,22 +418,33 @@ impl Link {
         // fault stream's draw sequence is a pure function of the offered
         // traffic; the copy is discarded if the original is dropped.
         let dup = match &mut self.fault {
-            Some(f) => f.roll_duplicate().then(|| pkt.clone()),
-            None => None,
+            Some(f) => f.roll_duplicate(),
+            None => false,
         };
-        match self.queue.enqueue(pkt, rng) {
+        match self.queue.try_admit(pkt.size, rng) {
             EnqueueResult::Queued => {
-                self.enqueue_times.push_back(now);
-                if let Some(copy) = dup {
+                self.queue.push(QueuedPacket {
+                    handle: pool.insert(pkt),
+                    id: pkt.id,
+                    size: pkt.size,
+                    enqueued_at: now,
+                });
+                if dup {
+                    // The duplicate shares the original's id, like a
+                    // wire-level duplication would.
                     self.stats.offered_pkts += 1;
-                    self.stats.offered_bytes += copy.size as u64;
-                    let copy_id = copy.id;
-                    match self.queue.enqueue(copy, rng) {
+                    self.stats.offered_bytes += pkt.size as u64;
+                    match self.queue.try_admit(pkt.size, rng) {
                         EnqueueResult::Queued => {
-                            self.enqueue_times.push_back(now);
+                            self.queue.push(QueuedPacket {
+                                handle: pool.insert(pkt),
+                                id: pkt.id,
+                                size: pkt.size,
+                                enqueued_at: now,
+                            });
                             self.stats.duplicated += 1;
                             if let Some(f) = &mut self.fault {
-                                f.record(now, copy_id, Impairment::Duplicated);
+                                f.record(now, pkt.id, Impairment::Duplicated);
                             }
                         }
                         EnqueueResult::DroppedFull => self.stats.dropped_full += 1,
@@ -483,10 +499,7 @@ impl Link {
         let Some(pkt) = self.queue.dequeue() else {
             unreachable!("head_size() returned Some, so the queue is non-empty")
         };
-        let Some(enq_at) = self.enqueue_times.pop_front() else {
-            unreachable!("enqueue_times is parallel to the fifo")
-        };
-        let queue_delay = now.saturating_since(enq_at);
+        let queue_delay = now.saturating_since(pkt.enqueued_at);
         self.stats.record_delivery(pkt.size as u64, queue_delay);
 
         let tx = transmission_time(pkt.size as u64, self.cfg.phy_rate_bps);
@@ -530,7 +543,7 @@ impl Link {
             Some(depart_done)
         };
         ServiceOutcome::Deliver {
-            pkt,
+            pkt: pkt.handle,
             arrival,
             next_service,
         }
@@ -561,6 +574,57 @@ mod tests {
         Link::new(LinkId(0), NodeId(0), NodeId(1), cfg)
     }
 
+    /// Test fixture: a link plus the packet pool its buffers use.
+    struct Rig {
+        l: Link,
+        pool: PacketPool,
+    }
+
+    impl Rig {
+        fn new(cfg: LinkConfig) -> Self {
+            Rig {
+                l: link(cfg),
+                pool: PacketPool::new(),
+            }
+        }
+
+        fn enqueue(&mut self, p: Packet, now: SimTime, rng: &mut StdRng) -> EnqueueOutcome {
+            self.l.enqueue(p, now, &mut self.pool, rng)
+        }
+
+        /// Run services to completion, returning `(packet id, arrival)`
+        /// per delivery (taking each packet back out of the pool).
+        fn drain(&mut self, rng: &mut StdRng, start: SimTime) -> Vec<(u64, SimTime)> {
+            self.l.clear_service_pending();
+            let mut now = start;
+            let mut out = vec![];
+            loop {
+                match self.l.service(now, rng) {
+                    ServiceOutcome::Deliver {
+                        pkt,
+                        arrival,
+                        next_service,
+                    } => {
+                        out.push((self.pool.take(pkt).id.0, arrival));
+                        match next_service {
+                            Some(t) => {
+                                self.l.clear_service_pending();
+                                now = t;
+                            }
+                            None => break,
+                        }
+                    }
+                    ServiceOutcome::Retry(at) => {
+                        self.l.clear_service_pending();
+                        now = at;
+                    }
+                    ServiceOutcome::Idle => break,
+                }
+            }
+            out
+        }
+    }
+
     #[test]
     fn buffer_size_resolution() {
         // 20 Mbps × 100 ms = 250_000 bytes.
@@ -581,9 +645,9 @@ mod tests {
     fn single_packet_arrives_after_tx_plus_prop() {
         // 12 Mbps, 1500 B => 1 ms serialization; 20 ms propagation.
         let cfg = LinkConfig::new(12_000_000, SimDuration::from_millis(20));
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
-        let out = l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
+        let out = r.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
         let service_at = match out {
             EnqueueOutcome::Queued {
                 schedule_service: true,
@@ -592,8 +656,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(service_at, SimTime::ZERO);
-        l.clear_service_pending();
-        match l.service(service_at, &mut rng) {
+        r.l.clear_service_pending();
+        match r.l.service(service_at, &mut rng) {
             ServiceOutcome::Deliver {
                 arrival,
                 next_service,
@@ -610,12 +674,12 @@ mod tests {
     fn back_to_back_packets_spaced_by_serialization() {
         // Burst only one MTU so the second packet must wait for tokens.
         let cfg = LinkConfig::new(12_000_000, SimDuration::ZERO).burst(1500);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
-        l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
-        l.enqueue(pkt(2, 1500), SimTime::ZERO, &mut rng);
-        l.clear_service_pending();
-        let first = match l.service(SimTime::ZERO, &mut rng) {
+        r.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
+        r.enqueue(pkt(2, 1500), SimTime::ZERO, &mut rng);
+        r.l.clear_service_pending();
+        let first = match r.l.service(SimTime::ZERO, &mut rng) {
             ServiceOutcome::Deliver {
                 arrival,
                 next_service,
@@ -626,9 +690,9 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         };
-        l.clear_service_pending();
+        r.l.clear_service_pending();
         // At 1 ms the bucket has regenerated exactly 1500 bytes.
-        match l.service(SimTime::from_millis(1), &mut rng) {
+        match r.l.service(SimTime::from_millis(1), &mut rng) {
             ServiceOutcome::Deliver { arrival, .. } => {
                 assert!(arrival >= first + SimDuration::from_millis(1));
             }
@@ -648,37 +712,16 @@ mod tests {
         let cfg = LinkConfig::new(10_000_000, SimDuration::ZERO)
             .phy_rate(100_000_000)
             .burst(5 * 1024);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..3 {
-            l.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
+            r.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
         }
-        l.clear_service_pending();
-        let mut now = SimTime::ZERO;
-        let mut arrivals = vec![];
-        loop {
-            match l.service(now, &mut rng) {
-                ServiceOutcome::Deliver {
-                    arrival,
-                    next_service,
-                    ..
-                } => {
-                    arrivals.push(arrival);
-                    match next_service {
-                        Some(t) => {
-                            l.clear_service_pending();
-                            now = t;
-                        }
-                        None => break,
-                    }
-                }
-                ServiceOutcome::Retry(at) => {
-                    l.clear_service_pending();
-                    now = at;
-                }
-                ServiceOutcome::Idle => break,
-            }
-        }
+        let arrivals: Vec<SimTime> = r
+            .drain(&mut rng, SimTime::ZERO)
+            .into_iter()
+            .map(|(_, at)| at)
+            .collect();
         assert_eq!(arrivals.len(), 3);
         // 3 × 1500 = 4500 B fits the 5120 B burst: all three go out at
         // the 100 Mbps physical spacing (120 us apart), far faster than
@@ -693,78 +736,53 @@ mod tests {
     #[test]
     fn loss_drops_expected_fraction() {
         let cfg = LinkConfig::new(1_000_000_000, SimDuration::ZERO).loss(0.3);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(42);
         let mut dropped = 0;
         for i in 0..10_000 {
-            match l.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng) {
+            match r.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng) {
                 EnqueueOutcome::DroppedLoss => dropped += 1,
                 EnqueueOutcome::Queued { .. } => {
                     // drain so the buffer never fills
-                    l.clear_service_pending();
-                    while let ServiceOutcome::Deliver {
-                        next_service: Some(_),
-                        ..
-                    } = l.service(SimTime::from_secs(i + 1), &mut rng)
-                    {
-                        l.clear_service_pending();
-                    }
+                    r.drain(&mut rng, SimTime::from_secs(i + 1));
                 }
                 other => panic!("unexpected {other:?}"),
             }
         }
         let frac = dropped as f64 / 10_000.0;
         assert!((0.27..0.33).contains(&frac), "loss fraction {frac}");
-        assert_eq!(l.stats.dropped_loss, dropped);
+        assert_eq!(r.l.stats.dropped_loss, dropped);
     }
 
     #[test]
     fn overflow_drops_counted() {
         let cfg = LinkConfig::new(1_000_000, SimDuration::ZERO).buffer_bytes(3000);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..5 {
-            l.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
+            r.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
         }
-        assert_eq!(l.stats.dropped_full, 3);
-        assert_eq!(l.queued_bytes(), 3000);
+        assert_eq!(r.l.stats.dropped_full, 3);
+        assert_eq!(r.l.queued_bytes(), 3000);
+        // Only admitted packets occupy the pool.
+        assert_eq!(r.pool.live(), 2);
     }
 
     #[test]
     fn jitter_never_reorders_by_default() {
         let cfg = LinkConfig::new(100_000_000, SimDuration::from_millis(10))
             .jitter(SimDuration::from_millis(5));
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(9);
         for i in 0..50 {
-            l.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
+            r.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
         }
-        l.clear_service_pending();
-        let mut now = SimTime::ZERO;
+        let arrivals = r.drain(&mut rng, SimTime::ZERO);
+        assert_eq!(arrivals.len(), 50);
         let mut last = SimTime::ZERO;
-        loop {
-            match l.service(now, &mut rng) {
-                ServiceOutcome::Deliver {
-                    arrival,
-                    next_service,
-                    ..
-                } => {
-                    assert!(arrival > last, "reordered");
-                    last = arrival;
-                    match next_service {
-                        Some(t) => {
-                            l.clear_service_pending();
-                            now = t;
-                        }
-                        None => break,
-                    }
-                }
-                ServiceOutcome::Retry(at) => {
-                    l.clear_service_pending();
-                    now = at;
-                }
-                ServiceOutcome::Idle => break,
-            }
+        for &(_, arrival) in &arrivals {
+            assert!(arrival > last, "reordered");
+            last = arrival;
         }
         assert!(last > SimTime::ZERO);
     }
@@ -772,131 +790,102 @@ mod tests {
     use crate::fault::{FaultPlan, FaultState, GilbertElliott};
     use crate::rng::stream_rng;
 
-    fn drain(l: &mut Link, rng: &mut StdRng, start: SimTime) -> Vec<(u64, SimTime)> {
-        l.clear_service_pending();
-        let mut now = start;
-        let mut out = vec![];
-        loop {
-            match l.service(now, rng) {
-                ServiceOutcome::Deliver {
-                    pkt,
-                    arrival,
-                    next_service,
-                } => {
-                    out.push((pkt.id.0, arrival));
-                    match next_service {
-                        Some(t) => {
-                            l.clear_service_pending();
-                            now = t;
-                        }
-                        None => break,
-                    }
-                }
-                ServiceOutcome::Retry(at) => {
-                    l.clear_service_pending();
-                    now = at;
-                }
-                ServiceOutcome::Idle => break,
-            }
-        }
-        out
-    }
-
     #[test]
     fn fault_reorder_delivers_out_of_order() {
         let cfg = LinkConfig::new(100_000_000, SimDuration::from_millis(1));
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let plan = FaultPlan::new().reorder(0.2, SimDuration::from_millis(10));
-        l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
+        r.l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..100 {
-            l.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
+            r.enqueue(pkt(i, 1500), SimTime::ZERO, &mut rng);
         }
-        let arrivals = drain(&mut l, &mut rng, SimTime::ZERO);
+        let arrivals = r.drain(&mut rng, SimTime::ZERO);
         assert_eq!(arrivals.len(), 100);
-        assert!(l.stats.reordered > 0);
+        assert!(r.l.stats.reordered > 0);
         // At least one packet arrives after a higher-id packet.
         let out_of_order = arrivals
             .windows(2)
             .any(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1);
         assert!(out_of_order, "no reordering observed");
-        assert_eq!(l.stats.reordered as usize, l.fault_log().len());
+        assert_eq!(r.l.stats.reordered as usize, r.l.fault_log().len());
     }
 
     #[test]
     fn fault_down_drops_and_up_recovers() {
         let cfg = LinkConfig::new(100_000_000, SimDuration::ZERO);
-        let mut l = link(cfg);
-        l.attach_fault(FaultState::new(FaultPlan::new(), stream_rng(3, 0)));
+        let mut r = Rig::new(cfg);
+        r.l.attach_fault(FaultState::new(FaultPlan::new(), stream_rng(3, 0)));
         let mut rng = StdRng::seed_from_u64(1);
-        l.apply_fault_action(SimTime::ZERO, FaultAction::Down);
-        assert!(l.is_down());
+        r.l.apply_fault_action(SimTime::ZERO, FaultAction::Down);
+        assert!(r.l.is_down());
         assert_eq!(
-            l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng),
+            r.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng),
             EnqueueOutcome::DroppedDown
         );
-        assert_eq!(l.stats.dropped_down, 1);
+        assert_eq!(r.l.stats.dropped_down, 1);
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut rng),
+            r.l.service(SimTime::ZERO, &mut rng),
             ServiceOutcome::Idle
         ));
-        l.apply_fault_action(SimTime::from_millis(1), FaultAction::Up);
-        assert!(!l.is_down());
+        r.l.apply_fault_action(SimTime::from_millis(1), FaultAction::Up);
+        assert!(!r.l.is_down());
         assert!(matches!(
-            l.enqueue(pkt(2, 1500), SimTime::from_millis(1), &mut rng),
+            r.enqueue(pkt(2, 1500), SimTime::from_millis(1), &mut rng),
             EnqueueOutcome::Queued { .. }
         ));
-        let arrivals = drain(&mut l, &mut rng, SimTime::from_millis(1));
+        let arrivals = r.drain(&mut rng, SimTime::from_millis(1));
         assert_eq!(arrivals.len(), 1);
     }
 
     #[test]
     fn fault_duplication_admits_extra_copies() {
         let cfg = LinkConfig::new(1_000_000_000, SimDuration::ZERO).buffer_bytes(10_000_000);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let plan = FaultPlan::new().duplicate(0.25);
-        l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
+        r.l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..1000 {
-            l.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng);
+            r.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng);
         }
-        let frac = l.stats.duplicated as f64 / 1000.0;
+        let frac = r.l.stats.duplicated as f64 / 1000.0;
         assert!((0.2..0.3).contains(&frac), "duplication fraction {frac}");
         assert_eq!(
-            l.queued_bytes(),
-            (1000 + l.stats.duplicated) * 100,
+            r.l.queued_bytes(),
+            (1000 + r.l.stats.duplicated) * 100,
             "copies occupy the buffer"
         );
+        assert_eq!(r.pool.live() as u64, 1000 + r.l.stats.duplicated);
     }
 
     #[test]
     fn fault_ge_loss_replaces_configured_loss() {
         // Configured loss 0 but GE plan drops ~10%.
         let cfg = LinkConfig::new(1_000_000_000, SimDuration::ZERO).buffer_bytes(10_000_000);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let plan = FaultPlan::new().gilbert_elliott(GilbertElliott::bursty(5.0, 0.1));
-        l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
+        r.l.attach_fault(FaultState::new(plan, stream_rng(3, 0)));
         let mut rng = StdRng::seed_from_u64(1);
         let mut dropped = 0u64;
         for i in 0..20_000 {
-            if l.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng) == EnqueueOutcome::DroppedLoss {
+            if r.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng) == EnqueueOutcome::DroppedLoss {
                 dropped += 1;
             }
         }
         let frac = dropped as f64 / 20_000.0;
         assert!((0.08..0.12).contains(&frac), "GE loss fraction {frac}");
-        assert_eq!(l.stats.dropped_loss, dropped);
+        assert_eq!(r.l.stats.dropped_loss, dropped);
     }
 
     #[test]
     fn fault_rate_step_changes_drain_speed() {
         let cfg = LinkConfig::new(100_000_000, SimDuration::ZERO).burst(1500);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
-        l.apply_fault_action(SimTime::ZERO, FaultAction::Rate(1_000_000));
-        assert_eq!(l.config().rate_bps, 1_000_000);
-        l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
-        let arrivals = drain(&mut l, &mut rng, SimTime::ZERO);
+        r.l.apply_fault_action(SimTime::ZERO, FaultAction::Rate(1_000_000));
+        assert_eq!(r.l.config().rate_bps, 1_000_000);
+        r.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
+        let arrivals = r.drain(&mut rng, SimTime::ZERO);
         // Bucket re-seeded empty at 1 Mbps: 1500 B needs ~12 ms of credit.
         assert!(arrivals[0].1 >= SimTime::from_millis(11), "{:?}", arrivals);
     }
@@ -911,31 +900,14 @@ mod tests {
     #[test]
     fn queue_delay_statistics_accumulate() {
         let cfg = LinkConfig::new(12_000_000, SimDuration::ZERO).burst(1500);
-        let mut l = link(cfg);
+        let mut r = Rig::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
-        l.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
-        l.enqueue(pkt(2, 1500), SimTime::ZERO, &mut rng);
-        l.clear_service_pending();
-        let mut now = SimTime::ZERO;
-        loop {
-            match l.service(now, &mut rng) {
-                ServiceOutcome::Deliver { next_service, .. } => match next_service {
-                    Some(t) => {
-                        l.clear_service_pending();
-                        now = t;
-                    }
-                    None => break,
-                },
-                ServiceOutcome::Retry(at) => {
-                    l.clear_service_pending();
-                    now = at;
-                }
-                ServiceOutcome::Idle => break,
-            }
-        }
-        assert_eq!(l.stats.delivered_pkts, 2);
+        r.enqueue(pkt(1, 1500), SimTime::ZERO, &mut rng);
+        r.enqueue(pkt(2, 1500), SimTime::ZERO, &mut rng);
+        r.drain(&mut rng, SimTime::ZERO);
+        assert_eq!(r.l.stats.delivered_pkts, 2);
         // Second packet waited ~1 ms for tokens.
-        assert!(l.stats.total_queue_delay >= SimDuration::from_micros(900));
-        assert!(l.stats.mean_queue_delay() > SimDuration::ZERO);
+        assert!(r.l.stats.total_queue_delay >= SimDuration::from_micros(900));
+        assert!(r.l.stats.mean_queue_delay() > SimDuration::ZERO);
     }
 }

@@ -172,8 +172,10 @@ pub enum PacketKind {
     Background,
 }
 
-/// A packet in flight.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A packet in flight. All fields are plain values, so packets are
+/// `Copy` — the hot path moves them by bitwise copy, never by heap
+/// allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Packet {
     /// Unique per-transmission id (assigned by the simulator).
     pub id: PacketId,

@@ -2,12 +2,21 @@
 //!
 //! The classifier studied by the paper depends on how the bottleneck
 //! buffer absorbs a ramping flow, so the queue model is explicit: a FIFO
-//! of packets with a byte-denominated capacity, fronted by an admission
-//! policy — classic drop-tail, or RED (Random Early Detection) for the
-//! §6 robustness experiments ("it will still work on other queuing
+//! with a byte-denominated capacity, fronted by an admission policy —
+//! classic drop-tail, or RED (Random Early Detection) for the §6
+//! robustness experiments ("it will still work on other queuing
 //! mechanisms such as RED as long as there is an increase in RTT").
+//!
+//! The FIFO stores [`QueuedPacket`] descriptors — a [`PacketHandle`]
+//! into the simulator's [`crate::pool::PacketPool`] plus the few fields
+//! service decisions need — rather than full packets. Admission is
+//! split from insertion ([`LinkQueue::try_admit`] then
+//! [`LinkQueue::push`]) so a dropped packet is rejected before a pool
+//! slot is ever allocated.
 
-use crate::packet::Packet;
+use crate::ids::PacketId;
+use crate::pool::PacketHandle;
+use crate::time::SimTime;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -51,12 +60,26 @@ impl Default for RedParams {
 /// Outcome of offering a packet to a queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnqueueResult {
-    /// The packet was admitted and is now buffered.
+    /// The packet was admitted; the caller must [`LinkQueue::push`] it.
     Queued,
     /// The packet was dropped because the buffer was full.
     DroppedFull,
     /// The packet was dropped by early detection (RED).
     DroppedEarly,
+}
+
+/// A buffered packet: its pool handle plus the fields link service
+/// needs without a pool lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedPacket {
+    /// Where the full packet lives.
+    pub handle: PacketHandle,
+    /// The packet's id (for impairment logging).
+    pub id: PacketId,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// When the packet entered the buffer (for delay statistics).
+    pub enqueued_at: SimTime,
 }
 
 /// A byte-capacitated FIFO buffer with a pluggable admission policy.
@@ -65,7 +88,7 @@ pub struct LinkQueue {
     kind: QueueKind,
     capacity_bytes: u64,
     queued_bytes: u64,
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<QueuedPacket>,
     /// RED state: EWMA of occupancy (bytes) and count of packets since
     /// the last early drop.
     red_avg: f64,
@@ -145,10 +168,11 @@ impl LinkQueue {
         self.max_occupancy
     }
 
-    /// Offer a packet. On `Queued` the queue takes ownership; on a drop
-    /// the packet is discarded (the caller only learns the reason).
-    pub fn enqueue<R: Rng>(&mut self, pkt: Packet, rng: &mut R) -> EnqueueResult {
-        let size = pkt.size as u64;
+    /// Admission decision for a packet of `size` bytes. On
+    /// [`EnqueueResult::Queued`] the caller must follow up with
+    /// [`LinkQueue::push`]; on a drop the packet never enters the
+    /// buffer (and need never enter the pool).
+    pub fn try_admit<R: Rng>(&mut self, size: u32, rng: &mut R) -> EnqueueResult {
         if let QueueKind::Red(params) = self.kind {
             // Update EWMA of the instantaneous occupancy.
             self.red_avg += params.weight * (self.queued_bytes as f64 - self.red_avg);
@@ -176,13 +200,28 @@ impl LinkQueue {
                 self.red_count = -1;
             }
         }
-        if self.queued_bytes + size > self.capacity_bytes {
+        if self.queued_bytes + size as u64 > self.capacity_bytes {
             return EnqueueResult::DroppedFull;
         }
-        self.queued_bytes += size;
-        self.max_occupancy = self.max_occupancy.max(self.queued_bytes);
-        self.fifo.push_back(pkt);
         EnqueueResult::Queued
+    }
+
+    /// Append an admitted packet to the FIFO. Must follow a
+    /// [`LinkQueue::try_admit`] that returned [`EnqueueResult::Queued`]
+    /// for the same size.
+    pub fn push(&mut self, qp: QueuedPacket) {
+        debug_assert!(
+            self.queued_bytes + qp.size as u64 <= self.capacity_bytes,
+            "push without successful try_admit"
+        );
+        self.queued_bytes += qp.size as u64;
+        self.max_occupancy = self.max_occupancy.max(self.queued_bytes);
+        self.fifo.push_back(qp);
+    }
+
+    /// The head-of-line packet descriptor, if any.
+    pub fn head(&self) -> Option<QueuedPacket> {
+        self.fifo.front().copied()
     }
 
     /// Size in bytes of the head-of-line packet, if any.
@@ -190,11 +229,11 @@ impl LinkQueue {
         self.fifo.front().map(|p| p.size)
     }
 
-    /// Remove and return the head-of-line packet.
-    pub fn dequeue(&mut self) -> Option<Packet> {
-        let pkt = self.fifo.pop_front()?;
-        self.queued_bytes -= pkt.size as u64;
-        Some(pkt)
+    /// Remove and return the head-of-line packet descriptor.
+    pub fn dequeue(&mut self) -> Option<QueuedPacket> {
+        let qp = self.fifo.pop_front()?;
+        self.queued_bytes -= qp.size as u64;
+        Some(qp)
     }
 }
 
@@ -202,7 +241,8 @@ impl LinkQueue {
 mod tests {
     use super::*;
     use crate::ids::{FlowId, NodeId, PacketId};
-    use crate::packet::PacketKind;
+    use crate::packet::{Packet, PacketKind};
+    use crate::pool::PacketPool;
     use crate::time::SimTime;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -219,40 +259,78 @@ mod tests {
         }
     }
 
+    /// Admit-then-push, as the link does.
+    fn offer<R: Rng>(
+        q: &mut LinkQueue,
+        pool: &mut PacketPool,
+        p: Packet,
+        rng: &mut R,
+    ) -> EnqueueResult {
+        let r = q.try_admit(p.size, rng);
+        if r == EnqueueResult::Queued {
+            q.push(QueuedPacket {
+                handle: pool.insert(p),
+                id: p.id,
+                size: p.size,
+                enqueued_at: SimTime::ZERO,
+            });
+        }
+        r
+    }
+
     #[test]
     fn droptail_admits_to_capacity_then_drops() {
         let mut q = LinkQueue::new(QueueKind::DropTail, 3000);
+        let mut pool = PacketPool::new();
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(q.enqueue(pkt(1, 1500), &mut rng), EnqueueResult::Queued);
-        assert_eq!(q.enqueue(pkt(2, 1500), &mut rng), EnqueueResult::Queued);
-        assert_eq!(q.enqueue(pkt(3, 1), &mut rng), EnqueueResult::DroppedFull);
+        assert_eq!(
+            offer(&mut q, &mut pool, pkt(1, 1500), &mut rng),
+            EnqueueResult::Queued
+        );
+        assert_eq!(
+            offer(&mut q, &mut pool, pkt(2, 1500), &mut rng),
+            EnqueueResult::Queued
+        );
+        assert_eq!(
+            offer(&mut q, &mut pool, pkt(3, 1), &mut rng),
+            EnqueueResult::DroppedFull
+        );
         assert_eq!(q.queued_bytes(), 3000);
         assert_eq!(q.len(), 2);
         assert_eq!(q.max_occupancy(), 3000);
+        // Drops never reached the pool.
+        assert_eq!(pool.live(), 2);
     }
 
     #[test]
     fn fifo_order_preserved() {
         let mut q = LinkQueue::new(QueueKind::DropTail, 10_000);
+        let mut pool = PacketPool::new();
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..4 {
-            q.enqueue(pkt(i, 100), &mut rng);
+            offer(&mut q, &mut pool, pkt(i, 100), &mut rng);
         }
         for i in 0..4 {
-            assert_eq!(q.dequeue().unwrap().id, PacketId(i));
+            let Some(qp) = q.dequeue() else {
+                panic!("queue ran dry")
+            };
+            assert_eq!(qp.id, PacketId(i));
+            assert_eq!(pool.take(qp.handle).id, PacketId(i));
         }
         assert!(q.dequeue().is_none());
         assert!(q.is_empty());
         assert_eq!(q.queued_bytes(), 0);
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]
     fn head_size_matches_front() {
         let mut q = LinkQueue::new(QueueKind::DropTail, 10_000);
+        let mut pool = PacketPool::new();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(q.head_size(), None);
-        q.enqueue(pkt(1, 777), &mut rng);
-        q.enqueue(pkt(2, 888), &mut rng);
+        offer(&mut q, &mut pool, pkt(1, 777), &mut rng);
+        offer(&mut q, &mut pool, pkt(2, 888), &mut rng);
         assert_eq!(q.head_size(), Some(777));
         q.dequeue();
         assert_eq!(q.head_size(), Some(888));
@@ -269,13 +347,14 @@ mod tests {
             }),
             15_000,
         );
+        let mut pool = PacketPool::new();
         let mut rng = StdRng::seed_from_u64(7);
         let mut early = 0;
         let mut full = 0;
         // Never dequeue: occupancy climbs, RED must start dropping before
         // the buffer is physically full.
         for i in 0..200 {
-            match q.enqueue(pkt(i, 1500), &mut rng) {
+            match offer(&mut q, &mut pool, pkt(i, 1500), &mut rng) {
                 EnqueueResult::DroppedEarly => early += 1,
                 EnqueueResult::DroppedFull => full += 1,
                 EnqueueResult::Queued => {}
@@ -292,11 +371,18 @@ mod tests {
     #[test]
     fn red_idle_queue_drops_nothing() {
         let mut q = LinkQueue::new(QueueKind::Red(RedParams::default()), 100_000);
+        let mut pool = PacketPool::new();
         let mut rng = StdRng::seed_from_u64(3);
         // One packet at a time with immediate dequeue: average stays ~0.
         for i in 0..100 {
-            assert_eq!(q.enqueue(pkt(i, 1500), &mut rng), EnqueueResult::Queued);
-            q.dequeue();
+            assert_eq!(
+                offer(&mut q, &mut pool, pkt(i, 1500), &mut rng),
+                EnqueueResult::Queued
+            );
+            let Some(qp) = q.dequeue() else {
+                panic!("just queued")
+            };
+            pool.take(qp.handle);
         }
     }
 

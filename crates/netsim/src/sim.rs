@@ -25,6 +25,7 @@ use crate::fault::{FaultPlan, FaultState, ImpairmentRecord};
 use crate::ids::{LinkId, NodeId, PacketId};
 use crate::link::{EnqueueOutcome, Link, LinkConfig, ServiceOutcome};
 use crate::packet::{Packet, PacketSpec};
+use crate::pool::{PacketHandle, PacketPool};
 use crate::rng::stream_rng;
 use crate::stats::LinkStats;
 use crate::time::{SimDuration, SimTime};
@@ -68,20 +69,15 @@ impl SimObs {
     }
 }
 
-/// Node role. Routers are deliberately payload-free, so the enum is as
-/// large as a `Host`; hosts vastly outnumber the size savings boxing
-/// would buy.
-#[allow(clippy::large_enum_variant)]
+/// Node role.
 enum NodeSlot {
     /// Forwards packets according to the routing table.
     Router,
     /// Runs an agent. The box is temporarily taken out while its
     /// callback runs (to satisfy the borrow checker); `None` only
-    /// transiently.
-    Host {
-        agent: Option<Box<dyn Agent>>,
-        rng: StdRng,
-    },
+    /// transiently. The host's RNG lives in `Simulator::host_rngs`,
+    /// which the callback borrows disjointly.
+    Host { agent: Option<Box<dyn Agent>> },
 }
 
 /// One packet tap: a node and the sink observing its traffic.
@@ -105,12 +101,20 @@ pub enum StopReason {
 pub struct Simulator {
     now: SimTime,
     events: EventQueue,
+    /// Arena holding every packet currently buffered or in flight.
+    pool: PacketPool,
     nodes: Vec<NodeSlot>,
+    /// Per-node RNG streams, parallel to `nodes` (router slots hold an
+    /// unused placeholder).
+    host_rngs: Vec<StdRng>,
     links: Vec<Link>,
     link_rngs: Vec<StdRng>,
     /// `routes[node][dst] = link` (dense table; `None` = unreachable).
     routes: Vec<Vec<Option<LinkId>>>,
     taps: Vec<Tap>,
+    /// Per-node count of attached taps, parallel to `nodes` — lets the
+    /// hot path skip capture bookkeeping for untapped nodes in O(1).
+    tap_counts: Vec<u32>,
     next_packet_id: u64,
     seed: u64,
     events_processed: u64,
@@ -128,11 +132,14 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
+            pool: PacketPool::new(),
             nodes: Vec::new(),
+            host_rngs: Vec::new(),
             links: Vec::new(),
             link_rngs: Vec::new(),
             routes: Vec::new(),
             taps: Vec::new(),
+            tap_counts: Vec::new(),
             next_packet_id: 0,
             seed,
             events_processed: 0,
@@ -187,6 +194,10 @@ impl Simulator {
     pub fn add_router(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeSlot::Router);
+        // Routers never sample randomness; the slot keeps the vectors
+        // parallel.
+        self.host_rngs.push(stream_rng(self.seed, 0));
+        self.tap_counts.push(0);
         id
     }
 
@@ -198,11 +209,10 @@ impl Simulator {
     /// Add a host running `agent`, activated at `start`.
     pub fn add_host_at(&mut self, agent: Box<dyn Agent>, start: SimTime) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        let rng = stream_rng(self.seed, 0x1000_0000 + id.0 as u64);
-        self.nodes.push(NodeSlot::Host {
-            agent: Some(agent),
-            rng,
-        });
+        self.nodes.push(NodeSlot::Host { agent: Some(agent) });
+        self.host_rngs
+            .push(stream_rng(self.seed, 0x1000_0000 + id.0 as u64));
+        self.tap_counts.push(0);
         self.events.push(start, EventKind::Start(id));
         id
     }
@@ -316,6 +326,7 @@ impl Simulator {
     pub fn attach_sink(&mut self, node: NodeId, sink: Box<dyn PacketSink>) -> SinkHandle {
         assert!(node.index() < self.nodes.len(), "unknown node");
         self.taps.push(Tap { node, sink });
+        self.tap_counts[node.index()] += 1;
         SinkHandle(self.taps.len() - 1)
     }
 
@@ -332,8 +343,18 @@ impl Simulator {
 
     /// Detach and return a sink; the tap stops observing from then on.
     pub fn take_sink(&mut self, h: SinkHandle) -> Box<dyn PacketSink> {
-        self.taps[h.0].node = NodeId(u32::MAX);
+        self.detach_tap(h.0);
         std::mem::replace(&mut self.taps[h.0].sink, Box::new(NullSink))
+    }
+
+    /// Stop a tap from observing (idempotent) and keep the per-node
+    /// fast-path count in sync.
+    fn detach_tap(&mut self, tap: usize) {
+        let node = self.taps[tap].node;
+        if node != NodeId(u32::MAX) {
+            self.tap_counts[node.index()] -= 1;
+            self.taps[tap].node = NodeId(u32::MAX);
+        }
     }
 
     /// Attach a buffering capture tap to `node` — shorthand for
@@ -362,7 +383,7 @@ impl Simulator {
             panic!("handle is not a capture tap")
         };
         let cap = std::mem::replace(sink, Capture::new(NodeId(u32::MAX)));
-        self.taps[h.0].node = NodeId(u32::MAX);
+        self.detach_tap(h.0);
         cap
     }
 
@@ -379,9 +400,9 @@ impl Simulator {
     /// Downcast a host's agent to its concrete type.
     pub fn agent<T: Agent>(&self, node: NodeId) -> Option<&T> {
         match &self.nodes[node.index()] {
-            NodeSlot::Host {
-                agent: Some(agent), ..
-            } => (agent.as_ref() as &dyn Any).downcast_ref::<T>(),
+            NodeSlot::Host { agent: Some(agent) } => {
+                (agent.as_ref() as &dyn Any).downcast_ref::<T>()
+            }
             _ => None,
         }
     }
@@ -389,9 +410,9 @@ impl Simulator {
     /// Downcast a host's agent to its concrete type, mutably.
     pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Option<&mut T> {
         match &mut self.nodes[node.index()] {
-            NodeSlot::Host {
-                agent: Some(agent), ..
-            } => (agent.as_mut() as &mut dyn Any).downcast_mut::<T>(),
+            NodeSlot::Host { agent: Some(agent) } => {
+                (agent.as_mut() as &mut dyn Any).downcast_mut::<T>()
+            }
             _ => None,
         }
     }
@@ -473,15 +494,27 @@ impl Simulator {
         self.events.len()
     }
 
+    /// High-water mark of simultaneously pending events (diagnostics
+    /// and benchmark reporting).
+    pub fn peak_pending_events(&self) -> usize {
+        self.events.high_water()
+    }
+
+    /// High-water mark of packets simultaneously buffered or in flight
+    /// (the packet pool's peak occupancy).
+    pub fn peak_pool_packets(&self) -> usize {
+        self.pool.high_water()
+    }
+
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start(node) => self.agent_callback(node, AgentCall::Start),
             EventKind::Timer(node, token) => self.agent_callback(node, AgentCall::Timer(token)),
-            EventKind::Deliver(node, pkt) => self.deliver(node, pkt),
+            EventKind::Deliver(node, handle) => self.deliver(node, handle),
             EventKind::LinkService(link) => self.link_service(link),
             EventKind::LinkReconfig(link, cfg) => {
                 let now = self.now;
-                self.links[link.index()].reconfigure(now, cfg);
+                self.links[link.index()].reconfigure(now, *cfg);
                 self.wake_link(link, now);
             }
             EventKind::LinkFault(link, action) => {
@@ -503,7 +536,10 @@ impl Simulator {
         }
     }
 
-    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+    fn deliver(&mut self, node: NodeId, handle: PacketHandle) {
+        // Redeem the handle: the pool slot is freed here; forwarding
+        // re-inserts into the (just-recycled) slot.
+        let pkt = self.pool.take(handle);
         self.record_capture(node, Direction::In, &pkt);
         if pkt.dst == node {
             if let Some(o) = &self.obs {
@@ -581,7 +617,7 @@ impl Simulator {
     fn enqueue_on_link(&mut self, link: LinkId, pkt: Packet) {
         let l = &mut self.links[link.index()];
         let rng = &mut self.link_rngs[link.index()];
-        let outcome = l.enqueue(pkt, self.now, rng);
+        let outcome = l.enqueue(pkt, self.now, &mut self.pool, rng);
         if let Some(o) = &self.obs {
             o.queue_hwm_bytes.record(l.queued_bytes());
         }
@@ -631,13 +667,15 @@ impl Simulator {
     }
 
     fn record_capture(&mut self, node: NodeId, dir: Direction, pkt: &Packet) {
-        if !self.taps.iter().any(|t| t.node == node) {
+        // O(1) fast path: untapped nodes (the overwhelming majority in
+        // large campaigns) pay a single indexed load per delivery.
+        if self.tap_counts[node.index()] == 0 {
             return;
         }
         let rec = PacketRecord {
             time: self.now,
             dir,
-            pkt: pkt.clone(),
+            pkt: *pkt,
         };
         for t in &mut self.taps {
             if t.node == node {
@@ -647,23 +685,22 @@ impl Simulator {
     }
 
     fn agent_callback(&mut self, node: NodeId, call: AgentCall) {
-        // Take the agent out so we can hand `self`-derived context in.
-        let (mut agent, mut rng) = match &mut self.nodes[node.index()] {
-            NodeSlot::Host { agent, rng } => {
+        // Take the agent box out so we can hand `self`-derived context
+        // in; the RNG stays put (host_rngs is a disjoint field).
+        let mut agent = match &mut self.nodes[node.index()] {
+            NodeSlot::Host { agent } => {
                 let Some(agent) = agent.take() else {
                     unreachable!("agent call re-entered while the agent was checked out")
                 };
-                (
-                    agent,
-                    std::mem::replace(rng, StdRng::from_rng_placeholder()),
-                )
+                agent
             }
             NodeSlot::Router => return,
         };
         let mut cmds = std::mem::take(&mut self.cmd_buf);
         debug_assert!(cmds.is_empty());
         {
-            let mut ctx = Ctx::new(self.now, node, &mut cmds, &mut rng);
+            let rng = &mut self.host_rngs[node.index()];
+            let mut ctx = Ctx::new(self.now, node, &mut cmds, rng);
             match call {
                 AgentCall::Start => agent.on_start(&mut ctx),
                 AgentCall::Timer(token) => agent.on_timer(&mut ctx, token),
@@ -673,13 +710,7 @@ impl Simulator {
         // Put the agent back before applying commands (commands may
         // deliver packets only via events, so no re-entrancy).
         match &mut self.nodes[node.index()] {
-            NodeSlot::Host {
-                agent: slot,
-                rng: rslot,
-            } => {
-                *slot = Some(agent);
-                *rslot = rng;
-            }
+            NodeSlot::Host { agent: slot } => *slot = Some(agent),
             NodeSlot::Router => unreachable!(),
         }
         for cmd in cmds.drain(..) {
@@ -734,7 +765,8 @@ impl Simulator {
     /// congestion windows, capacity changes).
     pub fn schedule_link_reconfig(&mut self, at: SimTime, link: LinkId, cfg: LinkConfig) {
         assert!(link.index() < self.links.len(), "unknown link");
-        self.events.push(at, EventKind::LinkReconfig(link, cfg));
+        self.events
+            .push(at, EventKind::LinkReconfig(link, Box::new(cfg)));
     }
 
     /// Attach a fault plan to a link: its loss model replaces the link's
@@ -757,18 +789,6 @@ impl Simulator {
     /// The impairment log of a link (empty without an attached plan).
     pub fn fault_log(&self, link: LinkId) -> &[ImpairmentRecord] {
         self.links[link.index()].fault_log()
-    }
-}
-
-/// Helper: replace-placeholder RNG used while an agent callback runs.
-/// Never actually sampled.
-trait RngPlaceholder {
-    fn from_rng_placeholder() -> Self;
-}
-impl RngPlaceholder for StdRng {
-    fn from_rng_placeholder() -> Self {
-        use rand::SeedableRng;
-        StdRng::seed_from_u64(0)
     }
 }
 

@@ -29,8 +29,10 @@ proptest! {
         ops in proptest::collection::vec((any::<bool>(), 40u32..3000), 1..200),
         capacity in 3000u64..50_000,
     ) {
-        use csig_netsim::queue::{EnqueueResult, LinkQueue};
+        use csig_netsim::queue::{EnqueueResult, LinkQueue, QueuedPacket};
+        use csig_netsim::PacketPool;
         let mut q = LinkQueue::new(QueueKind::DropTail, capacity);
+        let mut pool = PacketPool::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut expected: std::collections::VecDeque<(u64, u32)> = Default::default();
         let mut next_id = 0u64;
@@ -38,8 +40,17 @@ proptest! {
             if enq {
                 let id = next_id;
                 next_id += 1;
-                match q.enqueue(pkt(id, size), &mut rng) {
-                    EnqueueResult::Queued => expected.push_back((id, size)),
+                match q.try_admit(size, &mut rng) {
+                    EnqueueResult::Queued => {
+                        let p = pkt(id, size);
+                        q.push(QueuedPacket {
+                            handle: pool.insert(p),
+                            id: p.id,
+                            size: p.size,
+                            enqueued_at: SimTime::ZERO,
+                        });
+                        expected.push_back((id, size));
+                    }
                     EnqueueResult::DroppedFull => {
                         // Must actually have been over capacity.
                         let queued: u64 = expected.iter().map(|&(_, s)| s as u64).sum();
@@ -49,8 +60,10 @@ proptest! {
                 }
             } else if let Some(got) = q.dequeue() {
                 let (id, size) = expected.pop_front().expect("model agrees");
+                let p = pool.take(got.handle);
                 prop_assert_eq!(got.id, PacketId(id));
                 prop_assert_eq!(got.size, size);
+                prop_assert_eq!(p.id, PacketId(id));
             } else {
                 prop_assert!(expected.is_empty());
             }

@@ -181,6 +181,10 @@ struct SegMeta {
 /// Local (low-32-bit) token value reserved for the delayed-ACK flush.
 const DELACK_TOKEN: u64 = 1 << 31;
 const DELACK_FLUSH: SimDuration = SimDuration::from_millis(40);
+/// Local token value for retransmission-timer events. Staleness is
+/// decided by comparing the fire time against `rto_deadline`, so a
+/// single token value suffices.
+const RTO_TOKEN: u64 = 1;
 
 /// Extract the flow id a connection embedded in a timer token, so an
 /// agent managing many connections can route the firing.
@@ -227,8 +231,14 @@ pub struct TcpConnection {
     highest_sacked: u64,
     consec_timeouts: u32,
     peer_rwnd: u64,
-    rto_gen: u64,
     rto_armed: bool,
+    /// Absolute instant the armed retransmission timer expires. Re-arming
+    /// on every ACK only moves this deadline; a physical scheduler event
+    /// is pushed lazily (see [`TcpConnection::ensure_rto_event`]).
+    rto_deadline: SimTime,
+    /// Fire time of the earliest physical RTO event known to be pending,
+    /// or `None` when no pending event covers the deadline.
+    rto_timer_at: Option<SimTime>,
 
     // ---- receive half ----
     irs: u32,
@@ -284,8 +294,9 @@ impl TcpConnection {
             highest_sacked: 0,
             consec_timeouts: 0,
             peer_rwnd: 64 * 1024,
-            rto_gen: 0,
             rto_armed: false,
+            rto_deadline: SimTime::ZERO,
+            rto_timer_at: None,
             irs: 0,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
@@ -1020,10 +1031,23 @@ impl TcpConnection {
     }
 
     fn arm_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_gen += 1;
         self.rto_armed = true;
-        let local = self.rto_gen & 0x7FFF_FFFF; // keep clear of DELACK bit
-        ctx.set_timer(self.rtt.rto(), self.token(local));
+        self.rto_deadline = ctx.now() + self.rtt.rto();
+        self.ensure_rto_event(ctx);
+    }
+
+    /// Push a physical timer event only if no pending event already fires
+    /// at or before the current deadline. A covering event that fires
+    /// early simply re-arms the remainder, so each RTO period costs one
+    /// scheduler event instead of one per advancing ACK.
+    fn ensure_rto_event(&mut self, ctx: &mut Ctx) {
+        match self.rto_timer_at {
+            Some(t) if t <= self.rto_deadline => {}
+            _ => {
+                ctx.set_timer(self.rto_deadline - ctx.now(), self.token(RTO_TOKEN));
+                self.rto_timer_at = Some(self.rto_deadline);
+            }
+        }
     }
 
     fn disarm_rto(&mut self) {
@@ -1041,8 +1065,17 @@ impl TcpConnection {
             }
             return;
         }
-        if !self.rto_armed || local != self.rto_gen & 0x7FFF_FFFF {
-            return; // stale generation
+        if self.rto_timer_at == Some(ctx.now()) {
+            self.rto_timer_at = None; // the tracked covering event fired
+        }
+        if !self.rto_armed {
+            return;
+        }
+        if ctx.now() < self.rto_deadline {
+            // The deadline moved forward since this event was scheduled;
+            // cover the remainder and wait.
+            self.ensure_rto_event(ctx);
+            return;
         }
         match self.state {
             ConnState::SynSent => {

@@ -29,10 +29,16 @@ grep -q '"sim.events"' "$obsdir/m1.json" || { echo "verify: snapshot missing sim
 cmp -s "$obsdir/m1.json" "$obsdir/m2.json" || { echo "verify: metrics snapshot differs across --jobs"; exit 1; }
 cmp -s "$obsdir/t1.jsonl" "$obsdir/t2.jsonl" || { echo "verify: trace differs across --jobs"; exit 1; }
 
+echo "==> cargo bench --workspace --no-run (benches stay compiling)"
+cargo bench --workspace --no-run
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -p csig-netsim --all-targets -- -D clippy::perf (hot-path perf gate)"
+cargo clippy -p csig-netsim --all-targets -- -D clippy::perf
 
 echo "verify: all checks passed"
